@@ -1,0 +1,210 @@
+package bcc
+
+import (
+	"io"
+
+	"bcc/internal/cluster"
+	"bcc/internal/coding"
+	"bcc/internal/core"
+	"bcc/internal/coupon"
+	"bcc/internal/experiments"
+	"bcc/internal/hetero"
+	"bcc/internal/rngutil"
+	"bcc/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Training jobs
+// ---------------------------------------------------------------------------
+
+// Spec describes a distributed training job; see core.Spec for the full
+// field documentation. Zero values select sensible defaults (scheme "bcc",
+// Nesterov optimizer, the "sim" runtime).
+type Spec = core.Spec
+
+// Job is a materialized training run; create with NewJob, execute with Run.
+type Job = core.Job
+
+// Result aggregates a run: final weights, per-iteration stats, timing
+// totals, and the empirical recovery threshold and communication load.
+type Result = cluster.Result
+
+// IterStats is one iteration's measurements (wall/comm/comp split, workers
+// heard, units and bytes received).
+type IterStats = cluster.IterStats
+
+// ErrStalled is returned when every alive worker has reported and the
+// gradient is still unrecoverable (too many failures for the scheme's
+// redundancy). Test with errors.Is.
+var ErrStalled = cluster.ErrStalled
+
+// NewJob generates the synthetic dataset of the paper's §III-C and
+// materializes a training job for the given spec.
+func NewJob(spec Spec) (*Job, error) { return core.NewJob(spec) }
+
+// Train is the one-call convenience: build the job and run it.
+func Train(spec Spec) (*Result, error) {
+	job, err := core.NewJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	return job.Run()
+}
+
+// ---------------------------------------------------------------------------
+// Schemes
+// ---------------------------------------------------------------------------
+
+// Scheme builds gradient-code plans; Plan and Decoder are the placement and
+// per-iteration decoding state (see the coding package docs).
+type Scheme = coding.Scheme
+
+// Plan is a concrete data placement + code for (m, n, r).
+type Plan = coding.Plan
+
+// Decoder accumulates worker messages until the gradient sum is
+// reconstructible.
+type Decoder = coding.Decoder
+
+// Message is one worker-to-master transmission.
+type Message = coding.Message
+
+// Schemes returns the names of all registered gradient-coding schemes:
+// bcc, bccapprox, bccmulti, cyclicmds, cyclicrep, fractional, randomized,
+// uncoded.
+func Schemes() []string { return coding.Names() }
+
+// LookupScheme resolves a scheme by name.
+func LookupScheme(name string) (Scheme, error) { return coding.Lookup(name) }
+
+// Parameterizable scheme constructors, for callers who need more than the
+// registry defaults. Build a Plan and install it on a Job (job.Plan = plan)
+// before Run:
+//
+//	plan, _ := bcc.BCCScheme{Weights: w}.Plan(m, n, r, bcc.NewRNG(1))
+
+// BCCScheme is the paper's scheme with optional skewed batch selection.
+type BCCScheme = coding.BCC
+
+// BCCApproxScheme stops at a fraction Phi of batch coverage and rescales —
+// approximate gradients at a fraction of the threshold.
+type BCCApproxScheme = coding.BCCApprox
+
+// BCCMultiScheme is the K-batches-per-worker ablation variant.
+type BCCMultiScheme = coding.BCCMulti
+
+// GeneralizedBCCScheme is the §IV heterogeneous placement with per-worker
+// loads (typically from HeteroCluster.Allocate).
+type GeneralizedBCCScheme = coding.GeneralizedBCC
+
+// PartitionedScheme is the §IV load-balancing baseline: disjoint blocks
+// sized by per-worker loads, master waits for every holder.
+type PartitionedScheme = coding.Partitioned
+
+// ---------------------------------------------------------------------------
+// Latency models and fabric knobs
+// ---------------------------------------------------------------------------
+
+// Latency injects per-iteration broadcast/compute/upload delays.
+type Latency = cluster.Latency
+
+// ZeroLatency is a Latency with no delays.
+type ZeroLatency = cluster.Zero
+
+// FixedLatency is a deterministic latency model for exact timing tests.
+type FixedLatency = cluster.Fixed
+
+// ShiftExpParams parameterizes the paper's shift-exponential worker model
+// (eq. 15).
+type ShiftExpParams = cluster.ShiftExpParams
+
+// NewShiftExpLatency builds the shift-exponential model for n workers; pass
+// one parameter set for a homogeneous cluster or n sets for a heterogeneous
+// one.
+func NewShiftExpLatency(n int, params []ShiftExpParams, rng *RNG) (Latency, error) {
+	return cluster.NewShiftExp(n, params, rng)
+}
+
+// ---------------------------------------------------------------------------
+// Coupon-collector theory (Theorem 1 machinery)
+// ---------------------------------------------------------------------------
+
+// Harmonic returns the n-th harmonic number H_n.
+func Harmonic(n int) float64 { return coupon.Harmonic(n) }
+
+// RecoveryThreshold returns K_BCC(r) = ceil(m/r) * H_{ceil(m/r)}, the
+// paper's eq. (2).
+func RecoveryThreshold(m, r int) float64 { return coupon.BCCRecoveryThreshold(m, r) }
+
+// RecoveryLowerBound returns the converse bound K*(r) >= m/r (Theorem 1).
+func RecoveryLowerBound(m, r int) float64 { return coupon.LowerBound(m, r) }
+
+// RandomizedThreshold returns the simple randomized scheme's expected
+// recovery threshold (paper eq. 5), computed exactly.
+func RandomizedThreshold(m, r int) float64 { return coupon.RandomizedRecoveryThreshold(m, r) }
+
+// ---------------------------------------------------------------------------
+// Heterogeneous clusters (paper §IV)
+// ---------------------------------------------------------------------------
+
+// HeteroWorker is one worker's shift-exponential parameters (mu, a).
+type HeteroWorker = hetero.WorkerParams
+
+// HeteroCluster models a heterogeneous cluster and exposes the generalized
+// BCC machinery: load allocation (P2), LB baseline, coverage simulation and
+// the Theorem 2 bounds.
+type HeteroCluster = hetero.Cluster
+
+// HeteroAllocation is the allocator's solution to problem P2.
+type HeteroAllocation = hetero.Allocation
+
+// PaperFig5Cluster returns the exact 100-worker cluster of the paper's
+// Fig. 5 evaluation.
+func PaperFig5Cluster() HeteroCluster { return hetero.PaperFig5Cluster() }
+
+// ---------------------------------------------------------------------------
+// Experiments
+// ---------------------------------------------------------------------------
+
+// ExperimentOptions tunes the reproduction harness (seeds, trial counts,
+// full-size vs quick).
+type ExperimentOptions = experiments.Options
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = experiments.Table
+
+// Experiments lists the available experiment ids in presentation order
+// (fig2, fig4, table1, table2, fig5, theorem1, theorem2, commload,
+// fractional, tailbound).
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates one paper artifact by id, rendering it to w
+// (pass nil to skip rendering) and returning the table.
+func RunExperiment(id string, opt ExperimentOptions, w io.Writer) (*ExperimentTable, error) {
+	return experiments.Run(id, opt, w)
+}
+
+// RunAllExperiments regenerates every artifact in order.
+func RunAllExperiments(opt ExperimentOptions, w io.Writer) ([]*ExperimentTable, error) {
+	return experiments.RunAll(opt, w)
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+// TraceRecorder captures per-iteration worker timelines on the sim runtime
+// (set it on Spec.Trace) and renders ASCII Gantt charts of straggler
+// behaviour.
+type TraceRecorder = trace.Recorder
+
+// ---------------------------------------------------------------------------
+// Randomness
+// ---------------------------------------------------------------------------
+
+// RNG is the library's deterministic random stream (xoshiro256**); split it
+// to derive independent sub-streams.
+type RNG = rngutil.RNG
+
+// NewRNG returns a stream seeded with the given value.
+func NewRNG(seed uint64) *RNG { return rngutil.New(seed) }

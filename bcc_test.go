@@ -1,0 +1,160 @@
+package bcc
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTrainQuickstart(t *testing.T) {
+	res, err := Train(Spec{
+		Examples: 10, Workers: 20, Load: 2,
+		DataPoints: 100, Dim: 16,
+		Iterations: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 10 {
+		t.Fatalf("iterations %d", len(res.Iters))
+	}
+	if res.AvgWorkersHeard <= 0 {
+		t.Fatal("no workers heard")
+	}
+}
+
+func TestSchemesExported(t *testing.T) {
+	names := Schemes()
+	if len(names) != 8 {
+		t.Fatalf("schemes: %v", names)
+	}
+	for _, n := range names {
+		s, err := LookupScheme(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != n {
+			t.Fatalf("scheme %q reports name %q", n, s.Name())
+		}
+	}
+}
+
+func TestTheoryHelpers(t *testing.T) {
+	if h := Harmonic(5); math.Abs(h-137.0/60) > 1e-12 {
+		t.Fatalf("H_5 = %v", h)
+	}
+	k := RecoveryThreshold(50, 10)
+	if math.Abs(k-5*Harmonic(5)) > 1e-12 {
+		t.Fatalf("K_BCC = %v", k)
+	}
+	if lb := RecoveryLowerBound(50, 10); lb != 5 {
+		t.Fatalf("lower bound %v", lb)
+	}
+	if rt := RandomizedThreshold(50, 10); rt <= k {
+		t.Fatalf("randomized %v should exceed BCC %v", rt, k)
+	}
+}
+
+func TestHeteroExports(t *testing.T) {
+	c := PaperFig5Cluster()
+	if len(c) != 100 {
+		t.Fatalf("cluster size %d", len(c))
+	}
+	alloc, err := c.Allocate(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.TotalLoad() < 600 {
+		t.Fatalf("allocation %d below target", alloc.TotalLoad())
+	}
+}
+
+func TestLatencyExports(t *testing.T) {
+	lat, err := NewShiftExpLatency(4, []ShiftExpParams{{ComputeShift: 1, ComputeMu: 10}}, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := lat.Compute(0, 0, 3); c < 3 {
+		t.Fatalf("compute %v below shift", c)
+	}
+	var z ZeroLatency
+	if z.Compute(0, 0, 100) != 0 {
+		t.Fatal("zero latency should cost nothing")
+	}
+	f := FixedLatency{PerPoint: 2}
+	if f.Compute(0, 0, 3) != 6 {
+		t.Fatal("fixed latency arithmetic wrong")
+	}
+}
+
+func TestRunExperimentExported(t *testing.T) {
+	var buf bytes.Buffer
+	tab, err := RunExperiment("tailbound", ExperimentOptions{Quick: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "tailbound" || buf.Len() == 0 {
+		t.Fatal("experiment did not render")
+	}
+	ids := Experiments()
+	if len(ids) < 10 || ids[0] != "fig2" {
+		t.Fatalf("experiment ids: %v", ids)
+	}
+}
+
+func TestParameterizedSchemeInstall(t *testing.T) {
+	// Build a job, replace its plan with a custom-parameterized scheme, and
+	// train.
+	job, err := NewJob(Spec{
+		Examples: 20, Workers: 100, Load: 4,
+		DataPoints: 80, Dim: 8, Iterations: 5, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BCCApproxScheme{Phi: 0.6}.Plan(20, 100, 4, NewRNG(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Plan = plan
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// phi = 0.6 of 5 batches -> 3 covered batches suffice; threshold well
+	// below exact BCC's 5*H_5 ~ 11.4.
+	if res.AvgWorkersHeard >= 11.4 {
+		t.Fatalf("approx threshold %v not below exact", res.AvgWorkersHeard)
+	}
+}
+
+func TestWeightedBCCPublic(t *testing.T) {
+	w := make([]float64, 5)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	plan, err := BCCScheme{Weights: w}.Plan(20, 200, 4, NewRNG(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Scheme() != "bcc" {
+		t.Fatalf("scheme %q", plan.Scheme())
+	}
+}
+
+func TestSchemeSpecSwitch(t *testing.T) {
+	// The public API must run every scheme end to end.
+	for _, scheme := range Schemes() {
+		res, err := Train(Spec{
+			Scheme: scheme, Examples: 12, Workers: 12, Load: 3,
+			DataPoints: 48, Dim: 8, Iterations: 4, Seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if strings.TrimSpace(scheme) == "" || len(res.Iters) != 4 {
+			t.Fatalf("%s: bad result", scheme)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command bccbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bccbench -exp all                  # every artifact, default sizes
+//	bccbench -exp fig4 -full           # paper-size data (p=8000)
+//	bccbench -exp fig5 -trials 5000
+//	bccbench -exp fig2 -csv out/       # also write CSV files
+//
+// Experiment ids: fig2, fig4, table1, table2, fig5, theorem1, theorem2,
+// commload, fractional, tailbound, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bcc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id or 'all'")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		trials = flag.Int("trials", 0, "Monte-Carlo trials (0 = per-experiment default)")
+		iters  = flag.Int("iters", 0, "training iterations for fig4/tables (0 = 100, as in the paper)")
+		full   = flag.Bool("full", false, "paper-size data for fig4 (p=8000, 100 points per example)")
+		quick  = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
+		csvDir = flag.String("csv", "", "directory to also write <id>.csv files into")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	opt := experiments.Options{
+		Seed:       *seed,
+		Trials:     *trials,
+		Iterations: *iters,
+		FullSize:   *full,
+		Quick:      *quick,
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Names()
+	}
+	start := time.Now()
+	for _, id := range ids {
+		tab, err := experiments.Run(id, opt, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func writeCSV(dir string, tab *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tab.CSV(f)
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command bcctrain runs one distributed logistic-regression training job
+// with a chosen gradient-coding scheme, runtime and straggler profile, and
+// prints the paper's metrics (recovery threshold, comm/comp breakdown).
+//
+// Examples:
+//
+//	bcctrain -scheme bcc -m 50 -n 50 -r 10 -iters 100 -ec2
+//	bcctrain -scheme cyclicrep -m 20 -n 20 -r 5 -runtime tcp
+//	bcctrain -scheme uncoded -m 20 -n 20 -dead 3,7    # watch it stall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bcc/internal/core"
+	"bcc/internal/experiments"
+	"bcc/internal/rngutil"
+	"bcc/internal/trace"
+)
+
+func main() {
+	var (
+		scheme  = flag.String("scheme", "bcc", "gradient code: bcc|uncoded|cyclicrep|cyclicmds|fractional|randomized")
+		m       = flag.Int("m", 50, "number of example units")
+		n       = flag.Int("n", 50, "number of workers")
+		r       = flag.Int("r", 10, "computational load (units per worker)")
+		iters   = flag.Int("iters", 100, "gradient iterations")
+		points  = flag.Int("points", 10, "raw data points per unit")
+		dim     = flag.Int("dim", 800, "feature dimension p")
+		step    = flag.Float64("step", 0.5, "learning rate")
+		optName = flag.String("opt", "nesterov", "optimizer: nesterov|gd")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		runtime = flag.String("runtime", "sim", "runtime: sim|live|tcp")
+		ec2     = flag.Bool("ec2", false, "inject the calibrated EC2-like straggler profile")
+		dead    = flag.String("dead", "", "comma-separated worker indices that never respond")
+		lossEv  = flag.Int("loss-every", 10, "record training loss every k iterations (0=never)")
+		doTrace = flag.Bool("trace", false, "print an ASCII Gantt of the first iteration (sim runtime)")
+		ckptOut = flag.String("checkpoint", "", "write optimizer state here after the run")
+		resume  = flag.String("resume", "", "restore optimizer state from this checkpoint before running")
+	)
+	flag.Parse()
+
+	spec := core.Spec{
+		DataPoints: *m * *points,
+		Dim:        *dim,
+		Examples:   *m,
+		Workers:    *n,
+		Load:       *r,
+		Scheme:     *scheme,
+		Iterations: *iters,
+		StepSize:   *step,
+		Optimizer:  *optName,
+		Seed:       *seed,
+		Runtime:    *runtime,
+		LossEvery:  *lossEv,
+	}
+	if *ec2 {
+		lat, err := experiments.EC2Latency(*n, *points, rngutil.New(*seed^0xec2))
+		if err != nil {
+			fail(err)
+		}
+		spec.Latency = lat
+		spec.IngressPerUnit = 5.5e-3
+	}
+	if *dead != "" {
+		for _, tok := range strings.Split(*dead, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fail(fmt.Errorf("bad -dead entry %q: %w", tok, err))
+			}
+			spec.Dead = append(spec.Dead, idx)
+		}
+	}
+
+	var rec *trace.Recorder
+	if *doTrace {
+		if *runtime != "sim" {
+			fail(fmt.Errorf("-trace requires -runtime sim"))
+		}
+		rec = &trace.Recorder{}
+		spec.Trace = rec
+	}
+
+	job, err := core.NewJob(spec)
+	if err != nil {
+		fail(err)
+	}
+	completed := 0
+	if *resume != "" {
+		if completed, err = job.RestoreCheckpoint(*resume); err != nil {
+			fail(err)
+		}
+		fmt.Printf("resumed from %s (%d iterations already completed)\n", *resume, completed)
+	}
+
+	fmt.Printf("training logistic regression: scheme=%s m=%d n=%d r=%d p=%d points=%d runtime=%s\n",
+		*scheme, *m, *n, *r, *dim, spec.DataPoints, *runtime)
+	fmt.Printf("plan: worst-case threshold=%d expected threshold=%.2f comm load/worker=%.0f\n",
+		job.Plan.WorstCaseThreshold(), job.Plan.ExpectedThreshold(), job.Plan.CommLoadPerWorker())
+
+	res, err := job.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%-6s %-10s %-10s %-8s %-10s\n", "iter", "wall(s)", "K", "units", "loss")
+	for _, it := range res.Iters {
+		if *lossEv == 0 || it.Iter%*lossEv != 0 {
+			continue
+		}
+		fmt.Printf("%-6d %-10.4f %-10d %-8.0f %-10.5f\n", it.Iter, it.Wall, it.WorkersHeard, it.Units, it.Loss)
+	}
+	fmt.Printf("\ntotals: wall=%.3fs comm=%.3fs comp=%.3fs\n", res.TotalWall, res.TotalComm, res.TotalCompute)
+	fmt.Printf("per-iteration wall:                     %s\n", res.WallSummary())
+	fmt.Printf("recovery threshold (avg workers heard): %.2f\n", res.AvgWorkersHeard)
+	fmt.Printf("communication load (avg units):         %.2f\n", res.AvgUnits)
+	fmt.Printf("bytes received by master:               %d\n", res.TotalBytes)
+	fmt.Printf("training accuracy:                      %.4f\n", job.Accuracy(res.FinalW))
+
+	if *ckptOut != "" {
+		if err := job.Checkpoint(*ckptOut, completed+*iters); err != nil {
+			fail(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *ckptOut)
+	}
+
+	if rec != nil && rec.Len() > 0 {
+		gantt, err := rec.Gantt(0, 80)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\ntimeline of iteration 0 (b=broadcast c=compute u=upload q=queued D=drain |=decode):\n%s", gantt)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "bcctrain: %v\n", err)
+	os.Exit(1)
+}

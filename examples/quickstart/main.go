@@ -1,0 +1,63 @@
+// Quickstart: train logistic regression with the BCC scheme on a simulated
+// 50-worker cluster and print the paper's headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcc"
+)
+
+func main() {
+	// The paper's scenario one, laptop sized: m = 50 data batches over
+	// n = 50 workers, each worker picks r = 10 batches worth of data (one
+	// random batch of 10 units in BCC's batching). A light exponential
+	// communication tail makes worker arrival order vary per iteration, as
+	// on a real cluster.
+	lat, err := bcc.NewShiftExpLatency(50, []bcc.ShiftExpParams{{
+		CommShift: 1e-3, CommMu: 10,
+	}}, bcc.NewRNG(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := bcc.NewJob(bcc.Spec{
+		Examples:   50,
+		Workers:    50,
+		Load:       10,
+		Scheme:     "bcc",
+		DataPoints: 500, // 10 points per example unit
+		Dim:        200,
+		Iterations: 50,
+		LossEvery:  10,
+		Seed:       1,
+		Latency:    lat,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("plan:")
+	fmt.Printf("  scheme:                     %s\n", job.Plan.Scheme())
+	fmt.Printf("  expected recovery threshold %.2f (theory: ceil(m/r)*H = %.2f)\n",
+		job.Plan.ExpectedThreshold(), bcc.RecoveryThreshold(50, 10))
+	fmt.Printf("  lower bound m/r:            %.0f\n", bcc.RecoveryLowerBound(50, 10))
+
+	res, err := job.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ntraining:")
+	for _, it := range res.Iters {
+		if it.Iter%10 == 0 {
+			fmt.Printf("  iter %3d  loss %.5f  workers heard %d\n", it.Iter, it.Loss, it.WorkersHeard)
+		}
+	}
+	fmt.Println("\nresults:")
+	fmt.Printf("  avg recovery threshold: %.2f workers (out of %d)\n", res.AvgWorkersHeard, 50)
+	fmt.Printf("  avg communication load: %.2f gradient-sized messages\n", res.AvgUnits)
+	fmt.Printf("  training accuracy:      %.4f\n", job.Accuracy(res.FinalW))
+}

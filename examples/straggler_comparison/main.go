@@ -1,0 +1,71 @@
+// Straggler comparison: run the uncoded, cyclic-repetition and BCC schemes
+// on the same straggler-afflicted simulated cluster and compare total
+// running times — a miniature of the paper's Fig. 4 experiment.
+//
+//	go run ./examples/straggler_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bcc"
+)
+
+func main() {
+	const (
+		m, n  = 50, 50
+		r     = 10
+		iters = 100
+	)
+
+	fmt.Printf("distributed logistic regression: m=%d units, n=%d workers, %d iterations\n", m, n, iters)
+	fmt.Printf("%-12s %-4s %-8s %-10s %-10s %-10s\n", "scheme", "r", "avg K", "comm(s)", "comp(s)", "total(s)")
+
+	var uncodedTotal float64
+	for _, cfg := range []struct {
+		scheme string
+		r      int
+	}{
+		{"uncoded", 1}, // no redundancy: each worker holds m/n = 1 unit
+		{"cyclicrep", r},
+		{"bcc", r},
+	} {
+		// Paper-style shift-exponential stragglers (§IV eq. 15): a small
+		// deterministic compute cost (tail mean 0.04 ms/point) plus a heavy
+		// exponential communication tail (~80 ms/message).
+		lat, err := bcc.NewShiftExpLatency(n, []bcc.ShiftExpParams{{
+			ComputeShift: 8e-5, ComputeMu: 25000,
+			CommShift: 5e-3, CommMu: 12.5,
+		}}, bcc.NewRNG(42))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := bcc.Train(bcc.Spec{
+			Examples:   m,
+			Workers:    n,
+			Load:       cfg.r,
+			Scheme:     cfg.scheme,
+			DataPoints: m * 10,
+			Dim:        400,
+			Iterations: iters,
+			Seed:       7,
+			Latency:    lat,
+			// Master NIC drains one 64 KB message at a time.
+			IngressPerUnit: 5.5e-3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cfg.scheme == "uncoded" {
+			uncodedTotal = res.TotalWall
+		}
+		fmt.Printf("%-12s %-4d %-8.2f %-10.3f %-10.3f %-10.3f\n",
+			cfg.scheme, cfg.r, res.AvgWorkersHeard, res.TotalComm, res.TotalCompute, res.TotalWall)
+		if cfg.scheme != "uncoded" && uncodedTotal > 0 {
+			fmt.Printf("%12s speedup vs uncoded: %.1f%%\n", "",
+				100*(1-res.TotalWall/uncodedTotal))
+		}
+	}
+	fmt.Println("\npaper Fig. 4 (scenario one): BCC beat uncoded by 85.4% and CR by 69.9%")
+}

@@ -1,0 +1,119 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bcc/internal/optimize"
+)
+
+func sampleState() *State {
+	return &State{
+		Scheme: "bcc", M: 50, N: 50, R: 10, Dim: 100, Seed: 7,
+		Completed: 42,
+		Opt: optimize.State{
+			Kind:  "nesterov",
+			T:     42,
+			Theta: 3.25,
+			W:     []float64{1, 2, 3},
+			WPrev: []float64{0.5, 1.5, 2.5},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	in := sampleState()
+	if err := Save(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scheme != in.Scheme || out.Completed != 42 || out.Opt.Theta != 3.25 {
+		t.Fatalf("round trip lost fields: %+v", out)
+	}
+	for i, v := range in.Opt.W {
+		if out.Opt.W[i] != v {
+			t.Fatalf("weights differ at %d", i)
+		}
+	}
+	for i, v := range in.Opt.WPrev {
+		if out.Opt.WPrev[i] != v {
+			t.Fatalf("wPrev differs at %d", i)
+		}
+	}
+}
+
+func TestSaveAtomicNoTmpLeftover(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := Save(path, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temporary file left behind")
+	}
+}
+
+func TestSaveOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	s := sampleState()
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	s.Completed = 99
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != 99 {
+		t.Fatalf("overwrite lost: completed=%d", out.Completed)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
+
+func TestSaveNil(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "x"), nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	s := sampleState()
+	if err := s.Matches("bcc", 50, 50, 10, 100, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Matches("uncoded", 50, 50, 10, 100, 7); err == nil {
+		t.Fatal("scheme mismatch accepted")
+	}
+	if err := s.Matches("bcc", 50, 51, 10, 100, 7); err == nil {
+		t.Fatal("topology mismatch accepted")
+	}
+	if err := s.Matches("bcc", 50, 50, 10, 200, 7); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if err := s.Matches("bcc", 50, 50, 10, 100, 8); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+}

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bcc/internal/coding"
+	"bcc/internal/model"
+	"bcc/internal/optimize"
+	"bcc/internal/rngutil"
+	"bcc/internal/stats"
+	"bcc/internal/trace"
+	"bcc/internal/vecmath"
+)
+
+// Config describes one distributed training run.
+type Config struct {
+	// Plan fixes the data placement and gradient code.
+	Plan coding.Plan
+	// Model evaluates partial gradients over data rows.
+	Model model.Model
+	// Units maps each of the plan's m examples to the raw data rows it
+	// contains (dataset.Units output). len(Units) must equal the plan's m
+	// and the union must cover the model's rows exactly once.
+	Units [][]int
+	// Opt is advanced once per iteration with the decoded full gradient.
+	Opt optimize.Optimizer
+	// Iterations is the number of gradient steps to run.
+	Iterations int
+	// Latency injects straggler behaviour; nil means Zero.
+	Latency Latency
+	// IngressPerUnit models the master's receive bottleneck: draining one
+	// message unit occupies the master for this many seconds, so messages
+	// queue and the per-iteration time grows with the number of messages the
+	// master must take — the effect that makes the paper's total running
+	// times roughly proportional to the recovery threshold (§III-C). Zero
+	// disables the bottleneck (infinitely fast master NIC).
+	IngressPerUnit float64
+	// Dead lists worker indices that never respond (fault injection).
+	Dead []int
+	// DropProb makes the master lose each worker transmission independently
+	// with this probability (fault injection for lossy networks; workers do
+	// not retransmit). Drops are drawn deterministically from DropSeed.
+	DropProb float64
+	// DropSeed seeds the drop draws (only used when DropProb > 0).
+	DropSeed uint64
+	// LossEvery, if positive, evaluates full training loss every k
+	// iterations and records it in the stats (costly for large models).
+	LossEvery int
+	// Trace, if non-nil, records per-iteration worker timelines (sim
+	// runtime only; the live runtimes measure wall clock, not modelled
+	// spans).
+	Trace *trace.Recorder
+	// ComputeParallelism fans a worker's per-example gradient computations
+	// out over this many goroutines (0/1 = serial). Each example's gradient
+	// accumulates into its own buffer, so results are bit-for-bit identical
+	// to the serial path.
+	ComputeParallelism int
+}
+
+func (c *Config) validate() error {
+	if c.Plan == nil || c.Model == nil || c.Opt == nil {
+		return errors.New("cluster: Config needs Plan, Model and Opt")
+	}
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		if c.DropProb != 0 {
+			return fmt.Errorf("cluster: DropProb %v outside [0, 1)", c.DropProb)
+		}
+	}
+	m, n, _ := c.Plan.Params()
+	if len(c.Units) != m {
+		return fmt.Errorf("cluster: plan has m=%d examples but %d units supplied", m, len(c.Units))
+	}
+	if c.Iterations <= 0 {
+		return errors.New("cluster: Iterations must be positive")
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for u, rows := range c.Units {
+		for _, r := range rows {
+			if r < 0 || r >= c.Model.NumExamples() {
+				return fmt.Errorf("cluster: unit %d references row %d outside model", u, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("cluster: row %d appears in multiple units", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != c.Model.NumExamples() {
+		return fmt.Errorf("cluster: units cover %d rows, model has %d", total, c.Model.NumExamples())
+	}
+	for _, d := range c.Dead {
+		if d < 0 || d >= n {
+			return fmt.Errorf("cluster: dead worker %d out of range [0,%d)", d, n)
+		}
+	}
+	return nil
+}
+
+func (c *Config) latency() Latency {
+	if c.Latency == nil {
+		return Zero{}
+	}
+	return c.Latency
+}
+
+func (c *Config) deadSet() map[int]bool {
+	dead := make(map[int]bool, len(c.Dead))
+	for _, d := range c.Dead {
+		dead[d] = true
+	}
+	return dead
+}
+
+// IterStats records one iteration's measurements, mirroring the breakdown of
+// the paper's Tables I and II.
+type IterStats struct {
+	Iter int
+	// Wall is the iteration's duration in simulated seconds (sim runtime) or
+	// scaled real seconds (live runtimes).
+	Wall float64
+	// Compute is the maximum computation time among the workers whose
+	// results the master counted — the paper's computation-time metric.
+	Compute float64
+	// Comm is Wall - Compute, the paper's communication-time approximation.
+	Comm float64
+	// WorkersHeard is the realized recovery threshold |W| this iteration.
+	WorkersHeard int
+	// Units is the realized communication load this iteration.
+	Units float64
+	// Bytes counts payload bytes the master received this iteration.
+	Bytes int
+	// GradNorm is the Euclidean norm of the decoded (normalized) gradient.
+	GradNorm float64
+	// Loss is the full training loss, if LossEvery sampled this iteration
+	// (NaN otherwise).
+	Loss float64
+}
+
+// Result aggregates a full run.
+type Result struct {
+	// FinalW is the learned iterate after the last iteration.
+	FinalW []float64
+	// Iters holds per-iteration stats in order.
+	Iters []IterStats
+	// TotalWall, TotalCompute, TotalComm are sums over iterations.
+	TotalWall, TotalCompute, TotalComm float64
+	// AvgWorkersHeard is the empirical recovery threshold (Definition 2).
+	AvgWorkersHeard float64
+	// AvgUnits is the empirical communication load (Definition 3).
+	AvgUnits float64
+	// TotalBytes counts all payload bytes received by the master.
+	TotalBytes int
+}
+
+// WallSummary returns descriptive statistics of the per-iteration wall
+// times (mean, spread, quantiles) — the straggler variance a raw total
+// hides.
+func (r *Result) WallSummary() stats.Summary {
+	xs := make([]float64, len(r.Iters))
+	for i, it := range r.Iters {
+		xs[i] = it.Wall
+	}
+	return stats.Summarize(xs)
+}
+
+// ThresholdSummary returns descriptive statistics of the per-iteration
+// realized recovery thresholds.
+func (r *Result) ThresholdSummary() stats.Summary {
+	xs := make([]float64, len(r.Iters))
+	for i, it := range r.Iters {
+		xs[i] = float64(it.WorkersHeard)
+	}
+	return stats.Summarize(xs)
+}
+
+func summarize(finalW []float64, iters []IterStats) *Result {
+	res := &Result{FinalW: finalW, Iters: iters}
+	for _, it := range iters {
+		res.TotalWall += it.Wall
+		res.TotalCompute += it.Compute
+		res.TotalComm += it.Comm
+		res.AvgWorkersHeard += float64(it.WorkersHeard)
+		res.AvgUnits += it.Units
+		res.TotalBytes += it.Bytes
+	}
+	if len(iters) > 0 {
+		res.AvgWorkersHeard /= float64(len(iters))
+		res.AvgUnits /= float64(len(iters))
+	}
+	return res
+}
+
+// workerPoints returns, per worker, the number of raw data points its
+// assignment covers (the computational load in points, which drives the
+// latency model).
+func workerPoints(plan coding.Plan, units [][]int) []int {
+	assign := plan.Assignments()
+	pts := make([]int, len(assign))
+	for w, a := range assign {
+		for _, u := range a {
+			pts[w] += len(units[u])
+		}
+	}
+	return pts
+}
+
+// computeParts evaluates worker w's per-example partial gradients at query
+// point q: parts[k] = sum of per-row gradients over unit Assignments()[w][k].
+// With cfg.ComputeParallelism > 1 the examples are sharded over goroutines;
+// each example writes only its own buffer, so the result is bit-for-bit
+// equal to the serial path.
+func computeParts(cfg *Config, w int, q []float64) [][]float64 {
+	assign := cfg.Plan.Assignments()[w]
+	return gradientParts(cfg.Model, cfg.Units, assign, q, cfg.ComputeParallelism)
+}
+
+// gradientModel is the minimal model surface workers need.
+type gradientModel interface {
+	Dim() int
+	SubsetGradient(w []float64, rows []int, out []float64)
+}
+
+// gradientParts is the shared worker-side computation used by the sim
+// runtime (via computeParts) and by RunWorker in the live runtimes.
+func gradientParts(mod gradientModel, units [][]int, assign []int, q []float64, parallelism int) [][]float64 {
+	parts := make([][]float64, len(assign))
+	eval := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			g := make([]float64, mod.Dim())
+			mod.SubsetGradient(q, units[assign[k]], g)
+			parts[k] = g
+		}
+	}
+	if parallelism <= 1 || len(assign) < 2 {
+		eval(0, len(assign))
+		return parts
+	}
+	workers := parallelism
+	if workers > len(assign) {
+		workers = len(assign)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(assign) + workers - 1) / workers
+	for lo := 0; lo < len(assign); lo += chunk {
+		hi := lo + chunk
+		if hi > len(assign) {
+			hi = len(assign)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			eval(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return parts
+}
+
+// messageBytes returns the payload size of a message in bytes (8 per
+// float64 component).
+func messageBytes(msg coding.Message) int {
+	return 8 * (len(msg.Vec) + len(msg.Imag))
+}
+
+// ErrStalled is returned when every alive worker has reported and the
+// decoder still cannot reconstruct the gradient (e.g. too many dead workers
+// for the scheme's redundancy).
+var ErrStalled = errors.New("cluster: all alive workers reported but gradient is not decodable")
+
+// dropper decides, deterministically from its seed, whether a transmission
+// is lost. A nil dropper never drops.
+type dropper struct {
+	prob float64
+	rng  *rngutil.RNG
+}
+
+func (c *Config) newDropper() *dropper {
+	if c.DropProb <= 0 {
+		return nil
+	}
+	seed := c.DropSeed
+	if seed == 0 {
+		seed = 0xd20b
+	}
+	return &dropper{prob: c.DropProb, rng: rngutil.New(seed)}
+}
+
+func (d *dropper) drop() bool {
+	if d == nil {
+		return false
+	}
+	return d.rng.Bernoulli(d.prob)
+}
+
+// finishIteration folds the decoded gradient into the optimizer and fills
+// the iteration stats shared by all runtimes.
+func finishIteration(cfg *Config, dec coding.Decoder, st *IterStats) error {
+	sum, err := dec.Decode()
+	if err != nil {
+		return err
+	}
+	grad := vecmath.Clone(sum)
+	vecmath.Scale(1/float64(cfg.Model.NumExamples()), grad)
+	cfg.Opt.Update(grad)
+	st.WorkersHeard = dec.WorkersHeard()
+	st.Units = dec.UnitsReceived()
+	st.GradNorm = vecmath.Norm2(grad)
+	return nil
+}

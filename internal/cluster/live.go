@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bcc/internal/coding"
+	"bcc/internal/vecmath"
+)
+
+// ModelUpdate is the master-to-worker broadcast for one iteration. Iter < 0
+// signals shutdown.
+type ModelUpdate struct {
+	Iter  int
+	Query []float64
+}
+
+// Reply is a worker-to-master transmission: the encoded messages of one
+// iteration plus the worker's drawn (virtual) compute time, which the master
+// uses for the paper's computation-time metric.
+type Reply struct {
+	Iter    int
+	Worker  int
+	Compute float64
+	Msgs    []coding.Message
+}
+
+// LiveOptions tunes the goroutine/TCP runtimes.
+type LiveOptions struct {
+	// TimeScale converts virtual latency seconds into real sleep seconds
+	// (default 1e-3: a 10 s virtual iteration sleeps 10 ms).
+	TimeScale float64
+	// Timeout aborts an iteration whose decoder starves (default 30 s).
+	Timeout time.Duration
+	// TCP routes all traffic through real loopback TCP sockets (gob-encoded)
+	// instead of in-process channels.
+	TCP bool
+	// Codec selects the TCP frame encoding: "gob" (default) or "wire" (the
+	// compact binary codec of internal/wire). Ignored without TCP.
+	Codec string
+}
+
+func (o *LiveOptions) defaults() {
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1e-3
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+}
+
+// fabric is the master's view of the communication substrate.
+type fabric interface {
+	Broadcast(mu ModelUpdate) error
+	Replies() <-chan Reply
+	// AliveWorkers returns how many workers will reply each iteration.
+	AliveWorkers() int
+	Close() error
+}
+
+// RunLive executes the training run with real concurrent workers — one
+// goroutine per worker — exchanging messages over channels or loopback TCP.
+// Latency draws are injected as scaled sleeps, so the realized arrival order
+// matches the latency model while the gradients are computed for real.
+func RunLive(cfg *Config, opts LiveOptions) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	var fab fabric
+	var err error
+	if opts.TCP {
+		fab, err = newTCPFabric(cfg, opts)
+	} else {
+		fab, err = newChanFabric(cfg, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer fab.Close()
+	return runMaster(cfg, fab, opts)
+}
+
+// runMaster drives the iteration loop against any fabric.
+func runMaster(cfg *Config, fab fabric, opts LiveOptions) (*Result, error) {
+	iters := make([]IterStats, 0, cfg.Iterations)
+	alive := fab.AliveWorkers()
+	drops := cfg.newDropper()
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		q := cfg.Opt.Query()
+		if err := fab.Broadcast(ModelUpdate{Iter: iter, Query: vecmath.Clone(q)}); err != nil {
+			return nil, fmt.Errorf("cluster: broadcast failed at iteration %d: %w", iter, err)
+		}
+		start := time.Now()
+		dec := cfg.Plan.NewDecoder()
+		st := IterStats{Iter: iter, Loss: math.NaN()}
+		replies := 0
+		deadline := time.NewTimer(opts.Timeout)
+		for !dec.Decodable() {
+			select {
+			case rep := <-fab.Replies():
+				if rep.Iter != iter {
+					continue // stale reply from a straggler's previous round
+				}
+				replies++
+				if drops.drop() {
+					// Transmission lost; the reply still counts toward the
+					// stall check (the worker will not retransmit).
+					if !dec.Decodable() && replies >= alive {
+						deadline.Stop()
+						return nil, fmt.Errorf("%w (iteration %d)", ErrStalled, iter)
+					}
+					continue
+				}
+				if rep.Compute > st.Compute {
+					st.Compute = rep.Compute
+				}
+				if cfg.IngressPerUnit > 0 {
+					var units float64
+					for _, msg := range rep.Msgs {
+						units += msg.Units
+					}
+					// The master's NIC drains this message before the next
+					// can be taken — same bottleneck the sim models.
+					sleepVirtual(cfg.IngressPerUnit*units, opts.TimeScale)
+				}
+				for _, msg := range rep.Msgs {
+					st.Bytes += messageBytes(msg)
+					dec.Offer(msg)
+				}
+				if !dec.Decodable() && replies >= alive {
+					deadline.Stop()
+					return nil, fmt.Errorf("%w (iteration %d)", ErrStalled, iter)
+				}
+			case <-deadline.C:
+				return nil, fmt.Errorf("cluster: iteration %d timed out after %v (%d/%d replies)",
+					iter, opts.Timeout, replies, alive)
+			}
+		}
+		deadline.Stop()
+		st.Wall = time.Since(start).Seconds() / opts.TimeScale
+		st.Comm = st.Wall - st.Compute
+		if err := finishIteration(cfg, dec, &st); err != nil {
+			return nil, err
+		}
+		if cfg.LossEvery > 0 && iter%cfg.LossEvery == 0 {
+			st.Loss = fullLoss(cfg)
+		}
+		iters = append(iters, st)
+	}
+	_ = fab.Broadcast(ModelUpdate{Iter: -1})
+	finalW := vecmath.Clone(cfg.Opt.Iterate())
+	return summarize(finalW, iters), nil
+}
+
+// ---------------------------------------------------------------------------
+// Worker node logic (shared by the channel and TCP runtimes, and by the
+// out-of-process worker in cmd/bcccluster)
+// ---------------------------------------------------------------------------
+
+// WorkerEnv is everything one worker node needs to participate in a run.
+type WorkerEnv struct {
+	Index int
+	Plan  coding.Plan
+	Model interface {
+		Dim() int
+		SubsetGradient(w []float64, rows []int, out []float64)
+	}
+	Units     [][]int
+	Latency   Latency
+	TimeScale float64
+	// Codec selects the TCP frame encoding ("" = gob); must match the
+	// master. Unused by the channel fabric.
+	Codec string
+	// ComputeParallelism fans the per-example gradient computations out
+	// over this many goroutines (0/1 = serial).
+	ComputeParallelism int
+}
+
+// RunWorker executes the worker protocol until a shutdown update (Iter < 0)
+// or recv failure: receive the freshest model, sleep the drawn broadcast +
+// compute latency, compute the real partial gradients, encode, sleep the
+// upload latency, reply. recv should block for the next update and report
+// ok=false on channel/connection close; drain, if non-nil, performs a
+// non-blocking fetch so a lagging worker can skip stale models.
+func RunWorker(env WorkerEnv, recv func() (ModelUpdate, bool), drain func() (ModelUpdate, bool), send func(Reply) error) error {
+	assign := env.Plan.Assignments()[env.Index]
+	points := 0
+	for _, u := range assign {
+		points += len(env.Units[u])
+	}
+	scale := env.TimeScale
+	if scale <= 0 {
+		scale = 1e-3
+	}
+	for {
+		mu, ok := recv()
+		if !ok || mu.Iter < 0 {
+			return nil
+		}
+		// Skip to the most recent pending update (we lagged behind).
+		if drain != nil {
+			for {
+				next, got := drain()
+				if !got {
+					break
+				}
+				if next.Iter < 0 {
+					return nil
+				}
+				mu = next
+			}
+		}
+		iter := mu.Iter
+		sleepVirtual(env.Latency.Broadcast(env.Index, iter), scale)
+		comp := env.Latency.Compute(env.Index, iter, points)
+		parts := gradientParts(env.Model, env.Units, assign, mu.Query, env.ComputeParallelism)
+		sleepVirtual(comp, scale)
+		msgs := env.Plan.Encode(env.Index, parts)
+		var units float64
+		for _, m := range msgs {
+			units += m.Units
+		}
+		sleepVirtual(env.Latency.Upload(env.Index, iter, units), scale)
+		if err := send(Reply{Iter: iter, Worker: env.Index, Compute: comp, Msgs: msgs}); err != nil {
+			return err
+		}
+	}
+}
+
+func sleepVirtual(virtualSeconds, scale float64) {
+	if virtualSeconds <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(virtualSeconds * scale * float64(time.Second)))
+}
+
+// ---------------------------------------------------------------------------
+// In-process channel fabric
+// ---------------------------------------------------------------------------
+
+type chanFabric struct {
+	inboxes []chan ModelUpdate
+	replies chan Reply
+	alive   int
+}
+
+func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
+	_, n, _ := cfg.Plan.Params()
+	dead := cfg.deadSet()
+	f := &chanFabric{
+		inboxes: make([]chan ModelUpdate, n),
+		replies: make(chan Reply, n*4),
+		alive:   n - len(dead),
+	}
+	for w := 0; w < n; w++ {
+		if dead[w] {
+			continue
+		}
+		// Deep enough that the master never blocks on a straggler's inbox.
+		inbox := make(chan ModelUpdate, cfg.Iterations+2)
+		f.inboxes[w] = inbox
+		env := WorkerEnv{
+			Index:              w,
+			Plan:               cfg.Plan,
+			Model:              cfg.Model,
+			Units:              cfg.Units,
+			Latency:            cfg.latency(),
+			TimeScale:          opts.TimeScale,
+			ComputeParallelism: cfg.ComputeParallelism,
+		}
+		go func() {
+			recv := func() (ModelUpdate, bool) {
+				mu, ok := <-inbox
+				return mu, ok
+			}
+			drain := func() (ModelUpdate, bool) {
+				select {
+				case mu, ok := <-inbox:
+					return mu, ok
+				default:
+					return ModelUpdate{}, false
+				}
+			}
+			send := func(r Reply) error {
+				f.replies <- r
+				return nil
+			}
+			_ = RunWorker(env, recv, drain, send)
+		}()
+	}
+	return f, nil
+}
+
+func (f *chanFabric) Broadcast(mu ModelUpdate) error {
+	for _, inbox := range f.inboxes {
+		if inbox == nil {
+			continue
+		}
+		inbox <- mu
+	}
+	return nil
+}
+
+func (f *chanFabric) Replies() <-chan Reply { return f.replies }
+func (f *chanFabric) AliveWorkers() int     { return f.alive }
+
+func (f *chanFabric) Close() error {
+	for _, inbox := range f.inboxes {
+		if inbox != nil {
+			close(inbox)
+		}
+	}
+	return nil
+}

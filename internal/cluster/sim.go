@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"bcc/internal/coding"
+	"bcc/internal/des"
+	"bcc/internal/trace"
+)
+
+// RunSim executes the training run on the discrete-event simulator: worker
+// latencies are drawn from cfg.Latency, message arrivals become events on a
+// virtual clock, and the master advances the optimizer the moment the
+// decoder reports decodability — exactly the semantics of the live runtime,
+// but deterministic and orders of magnitude faster. This is the runtime the
+// experiment harness uses to regenerate the paper's figures.
+func RunSim(cfg *Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lat := cfg.latency()
+	dead := cfg.deadSet()
+	drops := cfg.newDropper()
+	_, n, _ := cfg.Plan.Params()
+	points := workerPoints(cfg.Plan, cfg.Units)
+
+	iters := make([]IterStats, 0, cfg.Iterations)
+
+	type arrival struct {
+		at      float64
+		worker  int
+		bcast   float64
+		compute float64
+		units   float64
+		msgs    []coding.Message
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		q := cfg.Opt.Query()
+		dec := cfg.Plan.NewDecoder()
+		st := IterStats{Iter: iter, Loss: math.NaN()}
+
+		// Phase 1: simulate every alive worker's pipeline on the virtual
+		// clock. The DES fires arrivals in time order, so `arrivals` comes
+		// out sorted.
+		var sched des.Scheduler
+		arrivals := make([]arrival, 0, n)
+		for w := 0; w < n; w++ {
+			if dead[w] {
+				continue
+			}
+			if drops.drop() {
+				continue // transmission lost in the network this iteration
+			}
+			bcast := lat.Broadcast(w, iter)
+			comp := lat.Compute(w, iter, points[w])
+			parts := computeParts(cfg, w, q)
+			msgs := cfg.Plan.Encode(w, parts)
+			if len(msgs) == 0 {
+				continue // worker holds no data (uncoded with n > m)
+			}
+			var units float64
+			for _, msg := range msgs {
+				units += msg.Units
+			}
+			up := lat.Upload(w, iter, units)
+			arr := arrival{worker: w, bcast: bcast, compute: comp, units: units, msgs: msgs}
+			sched.After(bcast+comp+up, func() {
+				arr.at = sched.Now()
+				arrivals = append(arrivals, arr)
+			})
+		}
+		sched.Run()
+
+		// Phase 2: drain the master's receive queue in arrival order. With
+		// a positive ingress cost the master is busy IngressPerUnit seconds
+		// per unit, so messages queue behind each other; with zero cost the
+		// drain is instantaneous at the arrival time.
+		var wall float64
+		var freeAt float64
+		decoded := false
+		var spans []trace.WorkerSpan
+		for _, arr := range arrivals {
+			start := arr.at
+			if start < freeAt {
+				start = freeAt
+			}
+			done := start + cfg.IngressPerUnit*arr.units
+			freeAt = done
+			counted := !decoded
+			if counted {
+				if arr.compute > st.Compute {
+					st.Compute = arr.compute
+				}
+				for _, msg := range arr.msgs {
+					st.Bytes += messageBytes(msg)
+					dec.Offer(msg)
+				}
+				if dec.Decodable() {
+					wall = done
+					decoded = true
+				}
+			}
+			if cfg.Trace != nil {
+				spans = append(spans, trace.WorkerSpan{
+					Worker:     arr.worker,
+					BcastEnd:   arr.bcast,
+					ComputeEnd: arr.bcast + arr.compute,
+					Arrive:     arr.at,
+					DrainStart: start,
+					DrainEnd:   done,
+					Counted:    counted,
+					Units:      arr.units,
+				})
+				continue
+			}
+			if decoded {
+				break
+			}
+		}
+		if !decoded {
+			return nil, fmt.Errorf("%w (iteration %d, %d arrivals)", ErrStalled, iter, len(arrivals))
+		}
+		if cfg.Trace != nil {
+			cfg.Trace.Add(trace.Iteration{Iter: iter, DecodeTime: wall, Spans: spans})
+		}
+		st.Wall = wall
+		st.Comm = st.Wall - st.Compute
+		if err := finishIteration(cfg, dec, &st); err != nil {
+			return nil, err
+		}
+		if cfg.LossEvery > 0 && iter%cfg.LossEvery == 0 {
+			st.Loss = fullLoss(cfg)
+		}
+		iters = append(iters, st)
+	}
+	finalW := append([]float64(nil), cfg.Opt.Iterate()...)
+	return summarize(finalW, iters), nil
+}
+
+func fullLoss(cfg *Config) float64 {
+	rows := make([]int, cfg.Model.NumExamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	return cfg.Model.SubsetLoss(cfg.Opt.Iterate(), rows) / float64(cfg.Model.NumExamples())
+}

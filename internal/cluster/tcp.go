@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP fabric runs the identical master/worker protocol over real
+// loopback sockets — the messages genuinely leave the process boundary
+// through the kernel's TCP stack. It backs both the in-process
+// RunLive(..., TCP: true) mode and the multi-process cmd/bcccluster tool.
+// Frames are encoded by a pluggable codec: "gob" (default) or the compact
+// "wire" binary codec (LiveOptions.Codec); both endpoints must agree.
+
+// Hello is the first frame a worker sends after dialing.
+type Hello struct {
+	Worker int
+}
+
+type tcpFabric struct {
+	ln      net.Listener
+	conns   []net.Conn
+	codecs  []frameCodec
+	replies chan Reply
+	alive   int
+	mu      sync.Mutex
+	closed  bool
+}
+
+// newTCPFabric starts a loopback listener, spawns one in-process worker
+// goroutine per alive worker that dials it, and wires reader goroutines
+// into the replies channel.
+func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
+	_, n, _ := cfg.Plan.Params()
+	dead := cfg.deadSet()
+	alive := n - len(dead)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: tcp listen: %w", err)
+	}
+
+	// Spawn workers that dial the listener and speak the protocol.
+	addr := ln.Addr().String()
+	for w := 0; w < n; w++ {
+		if dead[w] {
+			continue
+		}
+		env := WorkerEnv{
+			Index:              w,
+			Plan:               cfg.Plan,
+			Model:              cfg.Model,
+			Units:              cfg.Units,
+			Latency:            cfg.latency(),
+			TimeScale:          opts.TimeScale,
+			Codec:              opts.Codec,
+			ComputeParallelism: cfg.ComputeParallelism,
+		}
+		go func() { _ = DialAndServeWorker(addr, env) }()
+	}
+
+	fab, err := acceptWorkers(ln, alive, opts.Timeout, opts.Codec)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return fab, nil
+}
+
+// acceptWorkers accepts exactly `alive` handshaking connections on ln and
+// assembles the fabric around them.
+func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName string) (*tcpFabric, error) {
+	f := &tcpFabric{ln: ln, replies: make(chan Reply, alive*4+4), alive: alive}
+	f.conns = make([]net.Conn, 0, alive)
+	f.codecs = make([]frameCodec, 0, alive)
+	for i := 0; i < alive; i++ {
+		if tl, ok := ln.(*net.TCPListener); ok && timeout > 0 {
+			if err := tl.SetDeadline(time.Now().Add(timeout)); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: tcp accept %d/%d: %w", i, alive, err)
+		}
+		codec, err := newFrameCodec(codecName, conn)
+		if err != nil {
+			conn.Close()
+			f.Close()
+			return nil, err
+		}
+		if _, err := codec.ReadHello(); err != nil {
+			conn.Close()
+			f.Close()
+			return nil, fmt.Errorf("cluster: tcp handshake: %w", err)
+		}
+		f.conns = append(f.conns, conn)
+		f.codecs = append(f.codecs, codec)
+		// Reader: stream this worker's replies into the shared channel.
+		go func(codec frameCodec) {
+			for {
+				rep, err := codec.ReadReply()
+				if err != nil {
+					return
+				}
+				f.replies <- rep
+			}
+		}(codec)
+	}
+	return f, nil
+}
+
+func (f *tcpFabric) Broadcast(mu ModelUpdate) error {
+	for i, codec := range f.codecs {
+		if err := codec.WriteModel(mu); err != nil {
+			return fmt.Errorf("cluster: tcp broadcast to conn %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (f *tcpFabric) Replies() <-chan Reply { return f.replies }
+func (f *tcpFabric) AliveWorkers() int     { return f.alive }
+
+func (f *tcpFabric) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	for _, c := range f.conns {
+		_ = c.Close()
+	}
+	return f.ln.Close()
+}
+
+// DialAndServeWorker connects to a master at addr, performs the handshake
+// and serves the worker protocol until the connection closes or the master
+// sends a shutdown update. It is used by the in-process TCP runtime and by
+// the out-of-process worker command. env.Codec selects the frame encoding
+// and must match the master's.
+func DialAndServeWorker(addr string, env WorkerEnv) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d dial: %w", env.Index, err)
+	}
+	defer conn.Close()
+	codec, err := newFrameCodec(env.Codec, conn)
+	if err != nil {
+		return err
+	}
+	if err := codec.WriteHello(Hello{Worker: env.Index}); err != nil {
+		return fmt.Errorf("cluster: worker %d hello: %w", env.Index, err)
+	}
+	recv := func() (ModelUpdate, bool) {
+		mu, err := codec.ReadModel()
+		if err != nil {
+			return ModelUpdate{}, false
+		}
+		return mu, true
+	}
+	send := func(r Reply) error { return codec.WriteReply(r) }
+	// TCP delivers in order; stale replies are discarded by the master, so
+	// no drain hook is needed here.
+	return RunWorker(env, recv, nil, send)
+}
+
+// ServeMaster accepts `alive` worker connections on ln and returns a fabric
+// for RunWithFabric; used by cmd/bcccluster where workers are separate
+// processes. codecName must match the workers' ("" = gob). The caller owns
+// ln's lifetime via the returned fabric's Close.
+func ServeMaster(ln net.Listener, alive int, timeout time.Duration, codecName string) (Fabric, error) {
+	return acceptWorkers(ln, alive, timeout, codecName)
+}
+
+// Fabric is the exported face of the master-side substrate, for callers
+// (cmd/bcccluster) that manage their own listeners and then hand control to
+// RunWithFabric.
+type Fabric = fabric
+
+// RunWithFabric drives the master iteration loop over an already-connected
+// fabric. The caller retains ownership of the fabric and must Close it.
+func RunWithFabric(cfg *Config, fab Fabric, opts LiveOptions) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	return runMaster(cfg, fab, opts)
+}

@@ -1,0 +1,91 @@
+package coding
+
+import (
+	"fmt"
+	"math"
+
+	"bcc/internal/coupon"
+	"bcc/internal/rngutil"
+)
+
+// BCCApprox is an extension of BCC to APPROXIMATE gradient recovery, in the
+// spirit of approximate gradient coding: the master stops once a fraction
+// Phi of the batches is covered and inflates the partial sum by
+// nBatches/covered, an (approximately) unbiased stochastic gradient. The
+// training loop degrades gracefully into distributed SGD: thresholds drop
+// well below BCC's exact-coverage N*H_N — the collector's last few coupons
+// are the expensive ones — at the price of gradient noise.
+//
+// Placement and encoding are identical to BCC; only the decodability rule
+// and the decode-time rescaling differ. Phi = 1 recovers exact BCC.
+type BCCApprox struct {
+	// Phi is the coverage fraction in (0, 1]; default 0.8.
+	Phi float64
+	// MaxResample bounds feasibility retries, as in BCC. Feasibility still
+	// requires FULL coverage to be possible so training can fall back to an
+	// exact iteration if stragglers vanish.
+	MaxResample int
+}
+
+func init() { Register(BCCApprox{}) }
+
+// Name implements Scheme.
+func (BCCApprox) Name() string { return "bccapprox" }
+
+// Plan implements Scheme.
+func (s BCCApprox) Plan(m, n, r int, rng *rngutil.RNG) (Plan, error) {
+	phi := s.Phi
+	if phi == 0 {
+		phi = 0.8
+	}
+	if phi <= 0 || phi > 1 {
+		return nil, fmt.Errorf("coding/bccapprox: Phi=%v outside (0,1]", phi)
+	}
+	base, err := BCC{MaxResample: s.MaxResample}.Plan(m, n, r, rng)
+	if err != nil {
+		return nil, fmt.Errorf("coding/bccapprox: %w", err)
+	}
+	bp := base.(*bccPlan)
+	need := int(math.Ceil(phi * float64(bp.nBatches)))
+	if need < 1 {
+		need = 1
+	}
+	return &bccApproxPlan{bccPlan: bp, phi: phi, need: need}, nil
+}
+
+type bccApproxPlan struct {
+	*bccPlan
+	phi  float64
+	need int
+}
+
+func (p *bccApproxPlan) Scheme() string { return "bccapprox" }
+
+// CoverageTarget returns the number of batches the decoder waits for.
+func (p *bccApproxPlan) CoverageTarget() int { return p.need }
+
+// ExpectedThreshold implements Plan: the expected draws of the classic
+// collector to see `need` distinct coupons of nBatches types, capped at n.
+func (p *bccApproxPlan) ExpectedThreshold() float64 {
+	e := coupon.PartialExpectedDraws(p.nBatches, p.need)
+	if e > float64(p.n) {
+		return float64(p.n)
+	}
+	return e
+}
+
+func (p *bccApproxPlan) NewDecoder() Decoder {
+	nb := p.nBatches
+	return &coverageDecoder{
+		nBatches: nb,
+		need:     p.need,
+		tracker:  coupon.NewTracker(nb),
+		kept:     make([][]float64, nb),
+		heard:    make(map[int]bool, p.n),
+		scale: func(covered int) float64 {
+			return float64(nb) / float64(covered)
+		},
+	}
+}
+
+var _ Scheme = BCCApprox{}

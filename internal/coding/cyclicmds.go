@@ -1,0 +1,189 @@
+package coding
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"bcc/internal/linalg"
+	"bcc/internal/rngutil"
+)
+
+// CyclicMDS is a deterministic gradient code in the style of Raviv, Tamo,
+// Tandon & Dimakis ("Gradient Coding from Cyclic MDS Codes") and Halbawi et
+// al.'s Reed-Solomon construction — the [8]/[9] comparators in the paper
+// (eq. 7): same worst-case threshold m - r + 1 and unit communication load
+// as CyclicRep, but with no randomness in the code matrix.
+//
+// Construction: with omega = e^{2*pi*i/n} and s = r - 1, the generator
+// polynomial p(x) = prod_{j=1..s} (x - omega^j) has degree s and divides
+// x^n - 1. Row i of B holds p's coefficients cyclically shifted by i, so the
+// rows generate the cyclic code { q in C^n : q(omega^j) = 0, j = 1..s } of
+// dimension n - s. The all-ones vector is (x^n - 1)/(x - 1) = prod_{j>=1}
+// (x - omega^j), a multiple of p, hence in the code; and any n - s cyclic
+// shifts of p are linearly independent, so every (n-s)-subset of workers can
+// decode.
+//
+// Messages carry a complex combination of real gradients, transported as a
+// (real, imaginary) pair. Following the paper's accounting (eq. 8 counts
+// L = 1 per worker for all coded schemes; real-valued embeddings of this
+// code exist), a message counts as one communication unit.
+type CyclicMDS struct{}
+
+func init() { Register(CyclicMDS{}) }
+
+// Name implements Scheme.
+func (CyclicMDS) Name() string { return "cyclicmds" }
+
+// Plan implements Scheme. The rng argument is ignored — the code is
+// deterministic.
+func (CyclicMDS) Plan(m, n, r int, _ *rngutil.RNG) (Plan, error) {
+	if err := validate("cyclicmds", m, n, r); err != nil {
+		return nil, err
+	}
+	if m != n {
+		return nil, fmt.Errorf("coding/cyclicmds: requires m == n (group examples first); got m=%d n=%d", m, n)
+	}
+	s := r - 1
+	roots := make([]complex128, s)
+	for j := 1; j <= s; j++ {
+		roots[j-1] = linalg.RootOfUnity(j, n)
+	}
+	coeffs := linalg.PolyFromRoots(roots) // length s+1 == r
+	b := linalg.NewCMatrix(n, n)
+	assign := make([][]int, n)
+	for i := 0; i < n; i++ {
+		ids := make([]int, r)
+		for k := 0; k <= s; k++ {
+			u := (i + k) % n
+			b.Set(i, u, coeffs[k])
+			ids[k] = u
+		}
+		assign[i] = ids
+	}
+	return &mdsPlan{m: m, n: n, r: r, s: s, b: b, assign: assign}, nil
+}
+
+type mdsPlan struct {
+	m, n, r int
+	s       int
+	b       *linalg.CMatrix
+	assign  [][]int
+}
+
+func (p *mdsPlan) Scheme() string          { return "cyclicmds" }
+func (p *mdsPlan) Params() (int, int, int) { return p.m, p.n, p.r }
+func (p *mdsPlan) Assignments() [][]int    { return p.assign }
+
+// Matrix exposes the complex coding matrix for tests.
+func (p *mdsPlan) Matrix() *linalg.CMatrix { return p.b }
+
+func (p *mdsPlan) WorstCaseThreshold() int    { return p.n - p.s }
+func (p *mdsPlan) ExpectedThreshold() float64 { return float64(p.n - p.s) }
+func (p *mdsPlan) CommLoadPerWorker() float64 { return 1 }
+
+// Encode implements Plan: z_i = sum_u B[i][u] g_u, shipped as (Re, Im).
+func (p *mdsPlan) Encode(worker int, parts [][]float64) []Message {
+	checkParts("cyclicmds", p.assign, worker, parts)
+	dim := 0
+	if len(parts) > 0 {
+		dim = len(parts[0])
+	}
+	re := make([]float64, dim)
+	im := make([]float64, dim)
+	for k, u := range p.assign[worker] {
+		c := p.b.At(worker, u)
+		cr, ci := real(c), imag(c)
+		g := parts[k]
+		for t := 0; t < dim; t++ {
+			re[t] += cr * g[t]
+			im[t] += ci * g[t]
+		}
+	}
+	return []Message{{From: worker, Tag: -1, Vec: re, Imag: im, Units: 1}}
+}
+
+func (p *mdsPlan) NewDecoder() Decoder { return &mdsDecoder{plan: p} }
+
+type mdsDecoder struct {
+	plan    *mdsPlan
+	workers []int
+	re, im  [][]float64
+	units   float64
+	coeffs  []complex128
+}
+
+func (d *mdsDecoder) Offer(msg Message) bool {
+	if d.Decodable() {
+		return true
+	}
+	d.workers = append(d.workers, msg.From)
+	d.re = append(d.re, msg.Vec)
+	d.im = append(d.im, msg.Imag)
+	d.units += msg.Units
+	if len(d.workers) >= d.plan.WorstCaseThreshold() {
+		d.trySolve()
+	}
+	return d.Decodable()
+}
+
+func (d *mdsDecoder) trySolve() {
+	k := len(d.workers)
+	// Solve B_W^T a = 1 over C: B_W^T is m x k (m >= k), consistent because
+	// the all-ones vector lies in the span of any n-s rows.
+	bt := linalg.NewCMatrix(d.plan.m, k)
+	for col, w := range d.workers {
+		for u := 0; u < d.plan.m; u++ {
+			bt.Set(u, col, d.plan.b.At(w, u))
+		}
+	}
+	ones := make([]complex128, d.plan.m)
+	for i := range ones {
+		ones[i] = 1
+	}
+	a, err := linalg.CLeastSquares(bt, ones)
+	if err != nil {
+		return
+	}
+	// Verify the residual before accepting.
+	var worst float64
+	for u := 0; u < d.plan.m; u++ {
+		var s complex128
+		for col := 0; col < k; col++ {
+			s += bt.At(u, col) * a[col]
+		}
+		if diff := cmplx.Abs(s - 1); diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 1e-6 {
+		return
+	}
+	d.coeffs = a
+}
+
+func (d *mdsDecoder) Decodable() bool { return d.coeffs != nil }
+
+// Decode combines the complex messages and returns the real part; the
+// imaginary part of the true combination is identically zero (the decode
+// identity sum_i a_i B[i][u] = 1 holds in C and the gradients are real).
+func (d *mdsDecoder) Decode() ([]float64, error) {
+	if !d.Decodable() {
+		return nil, ErrNotDecodable
+	}
+	dim := len(d.re[0])
+	out := make([]float64, dim)
+	for i, a := range d.coeffs {
+		ar, ai := real(a), imag(a)
+		re, im := d.re[i], d.im[i]
+		for t := 0; t < dim; t++ {
+			// Re[(ar + i*ai)(re + i*im)] = ar*re - ai*im
+			out[t] += ar*re[t] - ai*im[t]
+		}
+	}
+	return out, nil
+}
+
+func (d *mdsDecoder) WorkersHeard() int      { return len(d.workers) }
+func (d *mdsDecoder) UnitsReceived() float64 { return d.units }
+
+var _ Scheme = CyclicMDS{}

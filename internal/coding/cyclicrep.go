@@ -1,0 +1,233 @@
+package coding
+
+import (
+	"fmt"
+
+	"bcc/internal/linalg"
+	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
+)
+
+// CyclicRep is the Cyclic Repetition gradient-coding scheme of Tandon,
+// Lei, Dimakis & Karampatziakis ("Gradient Coding", 2016), the scheme the
+// paper benchmarks BCC against on EC2. It requires m == n (the paper groups
+// examples into "super examples" to arrange this) and tolerates any
+// s = r - 1 stragglers in the worst case, i.e. a deterministic recovery
+// threshold of n - s = m - r + 1 (paper eq. 7) with unit communication load
+// per worker (eq. 8).
+//
+// Construction (Algorithm of the gradient-coding paper): draw a random
+// H in R^{s x n} whose rows sum to zero, so the all-ones vector lies in
+// null(H). Row i of the coding matrix B is supported on the cyclic window
+// {i, i+1, ..., i+s} (mod n), with leading coefficient 1 and the remaining s
+// coefficients solved from H b_i = 0. Every row then lies in the
+// (n-s)-dimensional null(H); generically any n-s rows span it, hence their
+// span contains the all-ones vector and the master can decode from ANY n-s
+// workers by solving a^T B_W = 1^T (here via Householder-QR least squares).
+type CyclicRep struct {
+	// MaxRetries bounds how many H draws are attempted when a draw is
+	// degenerate (probability-zero event; default 50).
+	MaxRetries int
+}
+
+func init() { Register(CyclicRep{}) }
+
+// Name implements Scheme.
+func (CyclicRep) Name() string { return "cyclicrep" }
+
+// Plan implements Scheme.
+func (c CyclicRep) Plan(m, n, r int, rng *rngutil.RNG) (Plan, error) {
+	if err := validate("cyclicrep", m, n, r); err != nil {
+		return nil, err
+	}
+	if m != n {
+		return nil, fmt.Errorf("coding/cyclicrep: requires m == n (group examples first); got m=%d n=%d", m, n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("coding/cyclicrep: nil rng (construction is randomized)")
+	}
+	s := r - 1
+	maxRetries := c.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 50
+	}
+	var b *vecmath.Matrix
+	var err error
+	for try := 0; try < maxRetries; try++ {
+		b, err = buildCyclicRepB(n, s, rng)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("coding/cyclicrep: construction failed after %d tries: %w", maxRetries, err)
+	}
+	assign := make([][]int, n)
+	for w := 0; w < n; w++ {
+		ids := make([]int, r)
+		for k := 0; k < r; k++ {
+			ids[k] = (w + k) % n
+		}
+		assign[w] = ids
+	}
+	return &codedPlan{
+		scheme: "cyclicrep",
+		m:      m, n: n, r: r, s: s,
+		b:      b,
+		assign: assign,
+	}, nil
+}
+
+// buildCyclicRepB constructs the n x n coding matrix for tolerance s.
+func buildCyclicRepB(n, s int, rng *rngutil.RNG) (*vecmath.Matrix, error) {
+	b := vecmath.NewMatrix(n, n)
+	if s == 0 {
+		// r = 1: no redundancy; B is the identity.
+		for i := 0; i < n; i++ {
+			b.Set(i, i, 1)
+		}
+		return b, nil
+	}
+	// H: s x n random Gaussian with each ROW summing to zero => H * 1 = 0.
+	h := vecmath.NewMatrix(s, n)
+	for i := 0; i < s; i++ {
+		var rowSum float64
+		for j := 0; j < n-1; j++ {
+			v := rng.Normal()
+			h.Set(i, j, v)
+			rowSum += v
+		}
+		h.Set(i, n-1, -rowSum)
+	}
+	// Row i of B: support {i..i+s} mod n, leading coefficient 1, remaining
+	// coefficients x solving H[:, supp[1:]] x = -H[:, supp[0]].
+	for i := 0; i < n; i++ {
+		sys := vecmath.NewMatrix(s, s)
+		rhs := make([]float64, s)
+		for row := 0; row < s; row++ {
+			for col := 0; col < s; col++ {
+				sys.Set(row, col, h.At(row, (i+1+col)%n))
+			}
+			rhs[row] = -h.At(row, i%n)
+		}
+		x, err := linalg.SolveLU(sys, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		b.Set(i, i, 1)
+		for col := 0; col < s; col++ {
+			b.Set(i, (i+1+col)%n, x[col])
+		}
+	}
+	return b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared real-coded plan/decoder (used by cyclicrep; the complex-coded MDS
+// scheme has its own decoder in cyclicmds.go)
+// ---------------------------------------------------------------------------
+
+// codedPlan is a linear gradient code with real coefficient matrix B
+// (n x m): worker i transmits sum_u B[i][u] g_u restricted to its support.
+type codedPlan struct {
+	scheme  string
+	m, n, r int
+	s       int // worst-case straggler tolerance
+	b       *vecmath.Matrix
+	assign  [][]int
+}
+
+func (p *codedPlan) Scheme() string          { return p.scheme }
+func (p *codedPlan) Params() (int, int, int) { return p.m, p.n, p.r }
+func (p *codedPlan) Assignments() [][]int    { return p.assign }
+
+// Matrix exposes the coding matrix for tests and diagnostics.
+func (p *codedPlan) Matrix() *vecmath.Matrix { return p.b }
+
+// WorstCaseThreshold implements Plan: n - s workers always suffice.
+func (p *codedPlan) WorstCaseThreshold() int { return p.n - p.s }
+
+// ExpectedThreshold implements Plan. The cyclic code decodes from any n-s
+// workers and (in the full-window construction) from no fewer, so the
+// threshold is deterministic.
+func (p *codedPlan) ExpectedThreshold() float64 { return float64(p.n - p.s) }
+
+func (p *codedPlan) CommLoadPerWorker() float64 { return 1 }
+
+// Encode implements Plan: one message carrying the coded combination.
+func (p *codedPlan) Encode(worker int, parts [][]float64) []Message {
+	checkParts(p.scheme, p.assign, worker, parts)
+	coeffs := make([]float64, len(parts))
+	for k, u := range p.assign[worker] {
+		coeffs[k] = p.b.At(worker, u)
+	}
+	return []Message{{
+		From:  worker,
+		Tag:   -1,
+		Vec:   vecmath.LinearCombination(coeffs, parts),
+		Units: 1,
+	}}
+}
+
+func (p *codedPlan) NewDecoder() Decoder {
+	return &codedDecoder{plan: p}
+}
+
+type codedDecoder struct {
+	plan    *codedPlan
+	workers []int
+	vecs    [][]float64
+	units   float64
+	coeffs  []float64 // decoding vector a, cached once solvable
+}
+
+func (d *codedDecoder) Offer(msg Message) bool {
+	if d.Decodable() {
+		return true
+	}
+	d.workers = append(d.workers, msg.From)
+	d.vecs = append(d.vecs, msg.Vec)
+	d.units += msg.Units
+	if len(d.workers) >= d.plan.WorstCaseThreshold() {
+		d.trySolve()
+	}
+	return d.Decodable()
+}
+
+// trySolve attempts to find a with a^T B_W = 1^T for the workers heard so
+// far. Failure (a probability-zero degenerate subset, or fewer workers than
+// the threshold) leaves the decoder waiting for more messages.
+func (d *codedDecoder) trySolve() {
+	k := len(d.workers)
+	// Build B_W^T : m x k, solve least squares against the all-ones vector.
+	bt := vecmath.NewMatrix(d.plan.m, k)
+	for col, w := range d.workers {
+		for u := 0; u < d.plan.m; u++ {
+			bt.Set(u, col, d.plan.b.At(w, u))
+		}
+	}
+	ones := make([]float64, d.plan.m)
+	vecmath.Fill(ones, 1)
+	a, err := linalg.LeastSquares(bt, ones)
+	if err != nil {
+		return
+	}
+	if linalg.Residual(bt, a, ones) > 1e-6 {
+		return // subset does not span the all-ones vector yet
+	}
+	d.coeffs = a
+}
+
+func (d *codedDecoder) Decodable() bool { return d.coeffs != nil }
+
+func (d *codedDecoder) Decode() ([]float64, error) {
+	if !d.Decodable() {
+		return nil, ErrNotDecodable
+	}
+	return vecmath.LinearCombination(d.coeffs, d.vecs[:len(d.coeffs)]), nil
+}
+
+func (d *codedDecoder) WorkersHeard() int      { return len(d.workers) }
+func (d *codedDecoder) UnitsReceived() float64 { return d.units }
+
+var _ Scheme = CyclicRep{}

@@ -1,0 +1,170 @@
+package coding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
+)
+
+// TestFuzzAllSchemesRandomConfigs is a broad property check: random problem
+// sizes, random arrival orders, every registered exact scheme — feeding the
+// full worker set must always decode to the exact gradient sum, and
+// decodability must be reached at or before the scheme's worst-case
+// threshold when one exists.
+func TestFuzzAllSchemesRandomConfigs(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rngutil.New(seed)
+		// Sizes chosen so every scheme has a fighting chance: m == n for
+		// the coded schemes, n >= 4x batches for coverage schemes.
+		m := 6 + 2*rng.Intn(8) // 6..20, even
+		n := m
+		r := 1 + rng.Intn(m/2)
+		gs := make([][]float64, m)
+		want := make([]float64, 4)
+		for u := range gs {
+			g := make([]float64, 4)
+			for i := range g {
+				g[i] = rng.Normal()
+			}
+			gs[u] = g
+			vecmath.AddInto(want, g)
+		}
+		for _, name := range Names() {
+			if name == "bccapprox" {
+				continue // approximate by design
+			}
+			s, err := Lookup(name)
+			if err != nil {
+				return false
+			}
+			plan, err := s.Plan(m, n, r, rng)
+			if err != nil {
+				continue // structurally rejected combination: fine
+			}
+			dec := plan.NewDecoder()
+			order := rng.Perm(n)
+			decodedAt := -1
+			for i, w := range order {
+				assign := plan.Assignments()[w]
+				parts := make([][]float64, len(assign))
+				for k, u := range assign {
+					parts[k] = gs[u]
+				}
+				for _, msg := range plan.Encode(w, parts) {
+					dec.Offer(msg)
+				}
+				if dec.Decodable() && decodedAt < 0 {
+					decodedAt = i + 1
+				}
+			}
+			if !dec.Decodable() {
+				// Random placements may be infeasible only if the plan
+				// constructor failed to guarantee coverage — that is a bug.
+				return false
+			}
+			got, err := dec.Decode()
+			if err != nil {
+				return false
+			}
+			if vecmath.MaxAbsDiff(got, want) > 1e-6*(1+vecmath.NormInf(want)) {
+				t.Logf("scheme %s m=%d n=%d r=%d: decode error %v",
+					name, m, n, r, vecmath.MaxAbsDiff(got, want))
+				return false
+			}
+			if wc := plan.WorstCaseThreshold(); wc >= 0 && decodedAt > wc {
+				t.Logf("scheme %s m=%d n=%d r=%d: decoded after %d > worst case %d",
+					name, m, n, r, decodedAt, wc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzDecodersIdempotentDecode checks Decode can be called repeatedly
+// and late Offers never corrupt an already-decodable state.
+func TestFuzzDecodersIdempotentDecode(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rngutil.New(seed)
+		m := 8 + 2*rng.Intn(6)
+		n := m
+		r := 2 + rng.Intn(3)
+		gs := make([][]float64, m)
+		for u := range gs {
+			gs[u] = []float64{rng.Normal(), rng.Normal()}
+		}
+		for _, name := range []string{"bcc", "cyclicrep", "uncoded"} {
+			s, _ := Lookup(name)
+			plan, err := s.Plan(m, n, r, rng)
+			if err != nil {
+				continue
+			}
+			dec := plan.NewDecoder()
+			var first []float64
+			for _, w := range rng.Perm(n) {
+				assign := plan.Assignments()[w]
+				parts := make([][]float64, len(assign))
+				for k, u := range assign {
+					parts[k] = gs[u]
+				}
+				for _, msg := range plan.Encode(w, parts) {
+					dec.Offer(msg)
+				}
+				if dec.Decodable() && first == nil {
+					out, err := dec.Decode()
+					if err != nil {
+						return false
+					}
+					first = vecmath.Clone(out)
+				}
+			}
+			if first == nil {
+				return false
+			}
+			again, err := dec.Decode()
+			if err != nil {
+				return false
+			}
+			if vecmath.MaxAbsDiff(first, again) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzExpectedThresholdsFinite sanity-checks the analytic threshold
+// surface over the whole configuration grid.
+func TestFuzzExpectedThresholdsFinite(t *testing.T) {
+	rng := rngutil.New(1234)
+	for _, name := range Names() {
+		s, _ := Lookup(name)
+		for m := 4; m <= 24; m += 4 {
+			for r := 1; r <= m; r *= 2 {
+				plan, err := s.Plan(m, m, r, rng)
+				if err != nil {
+					continue
+				}
+				e := plan.ExpectedThreshold()
+				if math.IsNaN(e) {
+					continue // explicitly MC-only schemes
+				}
+				if e <= 0 || e > float64(m)+1e-9 {
+					t.Fatalf("%s m=%d r=%d: E[K] = %v out of (0, n]", name, m, r, e)
+				}
+				if wc := plan.WorstCaseThreshold(); wc >= 0 && e > float64(wc)+1e-9 {
+					t.Fatalf("%s m=%d r=%d: E[K]=%v exceeds worst case %d", name, m, r, e, wc)
+				}
+			}
+		}
+	}
+}

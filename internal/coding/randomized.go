@@ -1,0 +1,139 @@
+package coding
+
+import (
+	"fmt"
+
+	"bcc/internal/coupon"
+	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
+)
+
+// Randomized is the "simple randomized scheme" of the paper's introduction
+// (eqs. 5-6): every worker independently selects r of the m examples
+// uniformly at random (without replacement) and ships each computed partial
+// gradient INDIVIDUALLY to the master. The master keeps the first copy of
+// each example's gradient and finishes once all m are covered.
+//
+// Like BCC it reaches the minimum recovery threshold up to a log factor
+// (K ~ (m/r) log m), but because every message group carries r units its
+// communication load blows up to ~ m log m — the deficiency BCC's batching
+// step repairs.
+type Randomized struct {
+	// MaxResample bounds feasibility retries, as in BCC.
+	MaxResample int
+}
+
+func init() { Register(Randomized{}) }
+
+// Name implements Scheme.
+func (Randomized) Name() string { return "randomized" }
+
+// Plan implements Scheme.
+func (s Randomized) Plan(m, n, r int, rng *rngutil.RNG) (Plan, error) {
+	if err := validate("randomized", m, n, r); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("coding/randomized: nil rng (placement is randomized)")
+	}
+	maxTries := s.MaxResample
+	if maxTries <= 0 {
+		maxTries = 1000
+	}
+	resamples := 0
+	for try := 0; try < maxTries; try++ {
+		assign := make([][]int, n)
+		for w := 0; w < n; w++ {
+			assign[w] = rng.Sample(m, r)
+		}
+		if coverageFeasible(m, assign) {
+			return &randomizedPlan{m: m, n: n, r: r, assign: assign, resamples: resamples}, nil
+		}
+		resamples++
+	}
+	return nil, fmt.Errorf("coding/randomized: no feasible placement after %d tries (m=%d n=%d r=%d)",
+		maxTries, m, n, r)
+}
+
+type randomizedPlan struct {
+	m, n, r   int
+	assign    [][]int
+	resamples int
+}
+
+func (p *randomizedPlan) Scheme() string          { return "randomized" }
+func (p *randomizedPlan) Params() (int, int, int) { return p.m, p.n, p.r }
+func (p *randomizedPlan) Assignments() [][]int    { return p.assign }
+func (p *randomizedPlan) Resamples() int          { return p.resamples }
+func (p *randomizedPlan) WorstCaseThreshold() int { return -1 }
+
+// ExpectedThreshold implements Plan: the batch-drawing coupon collector's
+// expectation (eq. 5), capped at n.
+func (p *randomizedPlan) ExpectedThreshold() float64 {
+	k := coupon.BatchExpectedDraws(p.m, p.r)
+	if k > float64(p.n) {
+		return float64(p.n)
+	}
+	return k
+}
+
+// CommLoadPerWorker implements Plan: r unit messages per worker.
+func (p *randomizedPlan) CommLoadPerWorker() float64 { return float64(p.r) }
+
+// Encode implements Plan: one unit message per assigned example.
+func (p *randomizedPlan) Encode(worker int, parts [][]float64) []Message {
+	checkParts("randomized", p.assign, worker, parts)
+	msgs := make([]Message, len(parts))
+	for k, g := range parts {
+		msgs[k] = Message{From: worker, Tag: p.assign[worker][k], Vec: g, Units: 1}
+	}
+	return msgs
+}
+
+func (p *randomizedPlan) NewDecoder() Decoder {
+	return &randomizedDecoder{
+		plan:    p,
+		tracker: coupon.NewTracker(p.m),
+		kept:    make([][]float64, p.m),
+		heard:   make(map[int]bool, p.n),
+	}
+}
+
+type randomizedDecoder struct {
+	plan    *randomizedPlan
+	tracker *coupon.Tracker
+	kept    [][]float64
+	heard   map[int]bool
+	units   float64
+}
+
+func (d *randomizedDecoder) Offer(msg Message) bool {
+	if d.Decodable() {
+		return true
+	}
+	if !d.heard[msg.From] {
+		d.heard[msg.From] = true
+	}
+	d.units += msg.Units
+	if msg.Tag < 0 || msg.Tag >= d.plan.m {
+		panic(fmt.Sprintf("coding/randomized: message with invalid example tag %d", msg.Tag))
+	}
+	if d.tracker.Offer(msg.Tag) {
+		d.kept[msg.Tag] = msg.Vec
+	}
+	return d.Decodable()
+}
+
+func (d *randomizedDecoder) Decodable() bool { return d.tracker.Complete() }
+
+func (d *randomizedDecoder) Decode() ([]float64, error) {
+	if !d.Decodable() {
+		return nil, ErrNotDecodable
+	}
+	return vecmath.SumVectors(d.kept), nil
+}
+
+func (d *randomizedDecoder) WorkersHeard() int      { return len(d.heard) }
+func (d *randomizedDecoder) UnitsReceived() float64 { return d.units }
+
+var _ Scheme = Randomized{}

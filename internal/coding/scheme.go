@@ -1,0 +1,177 @@
+// Package coding implements the gradient-coding schemes the paper proposes
+// and compares against, behind a single Scheme/Plan/Decoder abstraction:
+//
+//   - bcc        — Batched Coupon's Collector (the paper's contribution, §III)
+//   - uncoded    — disjoint partition, wait for every worker (§III-C baseline)
+//   - randomized — per-example uniform sampling, unit messages (§I eqs. 5-6)
+//   - cyclicrep  — Cyclic Repetition gradient coding [Tandon et al. 2016]
+//   - fractional — Fractional Repetition gradient coding [Tandon et al. 2016]
+//   - cyclicmds  — cyclic-MDS / Reed-Solomon style coding [Raviv et al.;
+//     Halbawi et al.]
+//
+// Terminology follows the paper: there are m "examples" (units of work —
+// each may wrap many raw data points), n workers, and a computational load
+// of r examples per worker. A Plan fixes the data placement and code; its
+// Decoder consumes worker Messages until the exact sum of all m per-example
+// partial gradients can be recovered.
+package coding
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bcc/internal/rngutil"
+)
+
+// Message is the payload one worker ships to the master in one iteration.
+// A worker may emit several Messages per iteration (the randomized scheme
+// sends one per example).
+type Message struct {
+	From int // worker index
+	Tag  int // scheme-specific id (batch/block/example); -1 when unused
+	// Vec is the real payload, sized like one partial gradient.
+	Vec []float64
+	// Imag carries the imaginary part for complex-coded schemes; nil
+	// otherwise.
+	Imag []float64
+	// Units is the communication load this message accounts for, in
+	// multiples of a single partial gradient (Definition 3 of the paper).
+	Units float64
+}
+
+// Plan is a concrete placement + code for (m, n, r). Plans are safe for
+// concurrent read-only use; each training iteration creates its own Decoder.
+type Plan interface {
+	// Scheme returns the scheme name this plan was built by.
+	Scheme() string
+	// Params returns the (m, n, r) the plan was built for.
+	Params() (m, n, r int)
+	// Assignments returns, per worker, the example ids it processes. The
+	// returned slices must not be mutated.
+	Assignments() [][]int
+	// Encode turns a worker's partial gradients (parts[k] is the gradient of
+	// Assignments()[worker][k]) into the messages it transmits.
+	Encode(worker int, parts [][]float64) []Message
+	// NewDecoder returns fresh per-iteration decoding state.
+	NewDecoder() Decoder
+	// WorstCaseThreshold returns the number of workers that is ALWAYS
+	// sufficient to decode regardless of which workers respond, or -1 if no
+	// such deterministic guarantee exists (randomized placements).
+	WorstCaseThreshold() int
+	// ExpectedThreshold returns the analytic expected number of workers the
+	// master waits for under a uniformly random response order, or NaN if
+	// unknown analytically.
+	ExpectedThreshold() float64
+	// CommLoadPerWorker returns the communication load (in units) of one
+	// worker's full transmission.
+	CommLoadPerWorker() float64
+}
+
+// Decoder accumulates messages for one iteration until the total gradient
+// sum can be reconstructed.
+type Decoder interface {
+	// Offer feeds one message and reports whether the decoder is now able to
+	// decode. Offering after decodability is allowed and ignored.
+	Offer(msg Message) bool
+	// Decodable reports whether Decode will succeed.
+	Decodable() bool
+	// Decode reconstructs sum_{j=1..m} g_j. It returns ErrNotDecodable if
+	// called early.
+	Decode() ([]float64, error)
+	// WorkersHeard returns the number of distinct workers whose messages
+	// arrived before (and including) the decodable point — the realized
+	// recovery threshold |W| of Definition 2.
+	WorkersHeard() int
+	// UnitsReceived returns the accumulated communication load counted
+	// toward decoding (Definition 3).
+	UnitsReceived() float64
+}
+
+// Scheme builds Plans for given problem sizes.
+type Scheme interface {
+	// Name returns the registry name.
+	Name() string
+	// Plan builds a placement and code for m examples, n workers and
+	// computational load r, drawing any randomness from rng.
+	Plan(m, n, r int, rng *rngutil.RNG) (Plan, error)
+}
+
+// ErrNotDecodable is returned by Decode before enough messages arrived.
+var ErrNotDecodable = errors.New("coding: not yet decodable")
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+var registry = map[string]Scheme{}
+
+// Register adds a scheme to the global registry; it panics on duplicates.
+// All built-in schemes self-register in their init functions.
+func Register(s Scheme) {
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("coding: duplicate scheme %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Lookup returns the named scheme.
+func Lookup(name string) (Scheme, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("coding: unknown scheme %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names returns the registered scheme names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+// validate checks the common (m, n, r) constraints.
+func validate(scheme string, m, n, r int) error {
+	if m <= 0 || n <= 0 || r <= 0 {
+		return fmt.Errorf("coding/%s: need positive m, n, r; got m=%d n=%d r=%d", scheme, m, n, r)
+	}
+	if r > m {
+		return fmt.Errorf("coding/%s: computational load r=%d exceeds m=%d examples", scheme, r, m)
+	}
+	return nil
+}
+
+// coverageFeasible reports whether the union of the assignments covers every
+// example in [0, m).
+func coverageFeasible(m int, assign [][]int) bool {
+	seen := make([]bool, m)
+	covered := 0
+	for _, a := range assign {
+		for _, u := range a {
+			if !seen[u] {
+				seen[u] = true
+				covered++
+			}
+		}
+	}
+	return covered == m
+}
+
+// checkParts validates the Encode input arity for worker w.
+func checkParts(scheme string, assign [][]int, w int, parts [][]float64) {
+	if w < 0 || w >= len(assign) {
+		panic(fmt.Sprintf("coding/%s: worker %d out of range [0,%d)", scheme, w, len(assign)))
+	}
+	if len(parts) != len(assign[w]) {
+		panic(fmt.Sprintf("coding/%s: worker %d got %d partial gradients for %d assigned examples",
+			scheme, w, len(parts), len(assign[w])))
+	}
+}

@@ -1,0 +1,241 @@
+// Package core wires the paper's pieces — synthetic data, logistic model,
+// Nesterov optimizer, a gradient-coding scheme and a cluster runtime — into
+// one distributed training job. It is the engine behind the public bcc
+// package and the experiment harness.
+package core
+
+import (
+	"fmt"
+
+	"bcc/internal/checkpoint"
+	"bcc/internal/cluster"
+	"bcc/internal/coding"
+	"bcc/internal/dataset"
+	"bcc/internal/model"
+	"bcc/internal/optimize"
+	"bcc/internal/rngutil"
+	"bcc/internal/trace"
+)
+
+// Spec describes a distributed training job at the level a library user
+// thinks about it. Zero values select the documented defaults.
+type Spec struct {
+	// --- learning problem (paper §III-C data model) ---
+	// DataPoints is the number of raw training points d (default 100 per
+	// example unit).
+	DataPoints int
+	// Dim is the feature dimension p (paper: 8000; default 200).
+	Dim int
+	// Separation scales the class means (paper: 1.5).
+	Separation float64
+	// StandardLabels switches to P(y=+1)=sigma(x^T w*); default is the
+	// paper's rule.
+	StandardLabels bool
+	// Lambda is the L2 regularization strength (paper: 0).
+	Lambda float64
+
+	// --- distribution ---
+	// Examples is m, the number of coded work units.
+	Examples int
+	// Workers is n.
+	Workers int
+	// Load is r, the per-worker computational load in units.
+	Load int
+	// Scheme names the gradient code (see coding.Names()); default "bcc".
+	Scheme string
+
+	// --- optimization ---
+	// Iterations of distributed gradient descent (paper: 100).
+	Iterations int
+	// StepSize is the constant learning rate (default 0.5).
+	StepSize float64
+	// Optimizer is "nesterov" (default, as in the paper) or "gd".
+	Optimizer string
+
+	// --- environment ---
+	// Seed drives all randomness; runs with equal specs and seeds are
+	// bit-for-bit reproducible on the sim runtime.
+	Seed uint64
+	// Latency injects straggler behaviour (nil = no delays).
+	Latency cluster.Latency
+	// IngressPerUnit is the master's per-message-unit drain cost.
+	IngressPerUnit float64
+	// Dead workers never respond.
+	Dead []int
+	// Runtime is "sim" (default), "live" (goroutines+channels) or "tcp"
+	// (goroutines over loopback sockets).
+	Runtime string
+	// TimeScale converts virtual seconds to real sleeps on live runtimes.
+	TimeScale float64
+	// LossEvery records full training loss every k iterations (0 = never).
+	LossEvery int
+	// Trace records per-iteration worker timelines (sim runtime only).
+	Trace *trace.Recorder
+}
+
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.Examples == 0 {
+		out.Examples = 20
+	}
+	if out.Workers == 0 {
+		out.Workers = out.Examples
+	}
+	if out.Load == 0 {
+		out.Load = 1
+	}
+	if out.DataPoints == 0 {
+		out.DataPoints = 100 * out.Examples
+	}
+	if out.Dim == 0 {
+		out.Dim = 200
+	}
+	if out.Separation == 0 {
+		out.Separation = 1.5
+	}
+	if out.Scheme == "" {
+		out.Scheme = "bcc"
+	}
+	if out.Iterations == 0 {
+		out.Iterations = 100
+	}
+	if out.StepSize == 0 {
+		out.StepSize = 0.5
+	}
+	if out.Optimizer == "" {
+		out.Optimizer = "nesterov"
+	}
+	if out.Runtime == "" {
+		out.Runtime = "sim"
+	}
+	return out
+}
+
+// Job is a fully-materialized training run: data generated, placement
+// planned, optimizer initialized. Build with NewJob, execute with Run.
+type Job struct {
+	Spec  Spec
+	Data  *dataset.Dataset
+	Model *model.Logistic
+	Plan  coding.Plan
+	Units [][]int
+	Opt   optimize.Optimizer
+}
+
+// NewJob generates the synthetic dataset and materializes the job. All
+// randomness (data, placement, latency seeds if the caller builds them from
+// the same stream) derives from spec.Seed.
+func NewJob(spec Spec) (*Job, error) {
+	s := spec.withDefaults()
+	rng := rngutil.New(s.Seed)
+	ds, err := dataset.Generate(dataset.Config{
+		N:              s.DataPoints,
+		Dim:            s.Dim,
+		Separation:     s.Separation,
+		StandardLabels: s.StandardLabels,
+	}, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return NewJobWithData(s, ds, rng.Split())
+}
+
+// NewJobWithData materializes a job over a caller-provided dataset; rng
+// drives the placement randomness.
+func NewJobWithData(spec Spec, ds *dataset.Dataset, rng *rngutil.RNG) (*Job, error) {
+	s := spec.withDefaults()
+	units, err := ds.Units(s.Examples)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := coding.Lookup(s.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sch.Plan(s.Examples, s.Workers, s.Load, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning %s: %w", s.Scheme, err)
+	}
+	mod := &model.Logistic{Data: ds, Lambda: s.Lambda}
+	var opt optimize.Optimizer
+	switch s.Optimizer {
+	case "nesterov":
+		opt = optimize.NewNesterov(make([]float64, mod.Dim()), optimize.Constant(s.StepSize))
+	case "gd":
+		opt = optimize.NewGD(make([]float64, mod.Dim()), optimize.Constant(s.StepSize))
+	default:
+		return nil, fmt.Errorf("core: unknown optimizer %q (want nesterov or gd)", s.Optimizer)
+	}
+	return &Job{Spec: s, Data: ds, Model: mod, Plan: plan, Units: units, Opt: opt}, nil
+}
+
+// Run executes the job on the runtime selected by the spec.
+func (j *Job) Run() (*cluster.Result, error) {
+	cfg := &cluster.Config{
+		Plan:           j.Plan,
+		Model:          j.Model,
+		Units:          j.Units,
+		Opt:            j.Opt,
+		Iterations:     j.Spec.Iterations,
+		Latency:        j.Spec.Latency,
+		IngressPerUnit: j.Spec.IngressPerUnit,
+		Dead:           j.Spec.Dead,
+		LossEvery:      j.Spec.LossEvery,
+		Trace:          j.Spec.Trace,
+	}
+	switch j.Spec.Runtime {
+	case "sim":
+		return cluster.RunSim(cfg)
+	case "live":
+		return cluster.RunLive(cfg, cluster.LiveOptions{TimeScale: j.Spec.TimeScale})
+	case "tcp":
+		return cluster.RunLive(cfg, cluster.LiveOptions{TimeScale: j.Spec.TimeScale, TCP: true})
+	default:
+		return nil, fmt.Errorf("core: unknown runtime %q (want sim, live or tcp)", j.Spec.Runtime)
+	}
+}
+
+// Accuracy returns the trained model's accuracy on its own training data for
+// a given weight vector (a convenience for examples and tests).
+func (j *Job) Accuracy(w []float64) float64 { return j.Model.Accuracy(w) }
+
+// Checkpoint writes the job's current optimizer state to path (atomically).
+// completed is the number of iterations already run against this job.
+func (j *Job) Checkpoint(path string, completed int) error {
+	snap, ok := j.Opt.(optimize.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: optimizer %q does not support checkpointing", j.Spec.Optimizer)
+	}
+	return checkpoint.Save(path, &checkpoint.State{
+		Scheme:    j.Spec.Scheme,
+		M:         j.Spec.Examples,
+		N:         j.Spec.Workers,
+		R:         j.Spec.Load,
+		Dim:       j.Spec.Dim,
+		Seed:      j.Spec.Seed,
+		Completed: completed,
+		Opt:       snap.Snapshot(),
+	})
+}
+
+// RestoreCheckpoint loads path into the job after validating that the
+// checkpoint belongs to a job with the identical topology and seed (same
+// data and placement). It returns the completed-iteration count so the
+// caller can shorten the remaining run.
+func (j *Job) RestoreCheckpoint(path string) (completed int, err error) {
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := st.Matches(j.Spec.Scheme, j.Spec.Examples, j.Spec.Workers, j.Spec.Load, j.Spec.Dim, j.Spec.Seed); err != nil {
+		return 0, err
+	}
+	snap, ok := j.Opt.(optimize.Snapshotter)
+	if !ok {
+		return 0, fmt.Errorf("core: optimizer %q does not support checkpointing", j.Spec.Optimizer)
+	}
+	if err := snap.Restore(st.Opt); err != nil {
+		return 0, err
+	}
+	return st.Completed, nil
+}

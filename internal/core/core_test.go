@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bcc/internal/cluster"
+	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
+)
+
+func TestDefaults(t *testing.T) {
+	s := (&Spec{}).withDefaults()
+	if s.Scheme != "bcc" || s.Optimizer != "nesterov" || s.Runtime != "sim" {
+		t.Fatalf("defaults: %+v", s)
+	}
+	if s.Examples != 20 || s.Workers != 20 || s.Load != 1 {
+		t.Fatalf("size defaults: %+v", s)
+	}
+	if s.DataPoints != 2000 {
+		t.Fatalf("DataPoints default %d", s.DataPoints)
+	}
+}
+
+func TestNewJobAndRun(t *testing.T) {
+	job, err := NewJob(Spec{
+		Examples: 10, Workers: 20, Load: 2,
+		DataPoints: 100, Dim: 15,
+		Iterations: 12, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 12 {
+		t.Fatalf("iterations %d", len(res.Iters))
+	}
+	if vecmath.Norm2(res.FinalW) == 0 {
+		t.Fatal("weights did not move")
+	}
+	// The trained model should beat the trivial classifier on its own data.
+	if acc := job.Accuracy(res.FinalW); acc <= 0.5 {
+		t.Fatalf("training accuracy %v", acc)
+	}
+}
+
+func TestJobReproducible(t *testing.T) {
+	run := func() []float64 {
+		job, err := NewJob(Spec{Examples: 8, Workers: 16, Load: 2, DataPoints: 64, Dim: 10, Iterations: 8, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalW
+	}
+	if vecmath.MaxAbsDiff(run(), run()) != 0 {
+		t.Fatal("same spec+seed produced different weights")
+	}
+}
+
+func TestSchemesAgreeOnWeights(t *testing.T) {
+	// All schemes compute the same mathematical gradient; the learned
+	// weights must agree across schemes up to fp noise.
+	var ref []float64
+	for _, scheme := range []string{"uncoded", "bcc", "cyclicrep", "cyclicmds", "fractional", "randomized"} {
+		job, err := NewJob(Spec{
+			Scheme: scheme, Examples: 12, Workers: 12, Load: 3,
+			DataPoints: 96, Dim: 10, Iterations: 10, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		res, err := job.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if ref == nil {
+			ref = res.FinalW
+			continue
+		}
+		if d := vecmath.MaxAbsDiff(ref, res.FinalW); d > 1e-6 {
+			t.Fatalf("%s weights differ from uncoded by %v", scheme, d)
+		}
+	}
+}
+
+func TestRuntimesAgree(t *testing.T) {
+	run := func(runtime string) []float64 {
+		job, err := NewJob(Spec{
+			Examples: 8, Workers: 16, Load: 2, DataPoints: 64, Dim: 8,
+			Iterations: 6, Seed: 11, Runtime: runtime, TimeScale: 1e-5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalW
+	}
+	sim := run("sim")
+	live := run("live")
+	tcp := run("tcp")
+	if vecmath.MaxAbsDiff(sim, live) != 0 {
+		t.Fatal("sim and live disagree")
+	}
+	if vecmath.MaxAbsDiff(sim, tcp) != 0 {
+		t.Fatal("sim and tcp disagree")
+	}
+}
+
+func TestInvalidSpecs(t *testing.T) {
+	if _, err := NewJob(Spec{Scheme: "nope", Examples: 4, Workers: 4, DataPoints: 8, Dim: 2, Iterations: 1, Load: 1}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := NewJob(Spec{Optimizer: "adamw", Examples: 4, Workers: 4, DataPoints: 8, Dim: 2, Iterations: 1, Load: 1}); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+	job, err := NewJob(Spec{Examples: 4, Workers: 4, DataPoints: 8, Dim: 2, Iterations: 1, Load: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Spec.Runtime = "quantum"
+	if _, err := job.Run(); err == nil {
+		t.Fatal("unknown runtime accepted")
+	}
+}
+
+func TestGDOptimizerPath(t *testing.T) {
+	job, err := NewJob(Spec{
+		Optimizer: "gd", Examples: 6, Workers: 6, Load: 1,
+		DataPoints: 60, Dim: 8, Iterations: 20, Seed: 3, LossEvery: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Iters[19].Loss) {
+		t.Fatal("loss not recorded")
+	}
+	if res.Iters[19].Loss >= math.Log(2) {
+		t.Fatalf("GD did not reduce loss below log 2: %v", res.Iters[19].Loss)
+	}
+}
+
+func TestCheckpointResumeBitExact(t *testing.T) {
+	// Running 10 iterations, checkpointing, and resuming for 10 more must
+	// reproduce an uninterrupted 20-iteration run bit for bit.
+	spec := func(iters int) Spec {
+		return Spec{
+			Examples: 10, Workers: 20, Load: 2,
+			DataPoints: 80, Dim: 12, Iterations: iters, Seed: 55,
+		}
+	}
+	full, err := NewJob(spec(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := NewJob(spec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ckpt.bin"
+	if err := first.Checkpoint(path, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := NewJob(spec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, err := resumed.RestoreCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 10 {
+		t.Fatalf("completed = %d", completed)
+	}
+	resRes, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vecmath.MaxAbsDiff(fullRes.FinalW, resRes.FinalW); d != 0 {
+		t.Fatalf("resume diverged from uninterrupted run by %v", d)
+	}
+}
+
+func TestCheckpointTopologyValidation(t *testing.T) {
+	job, err := NewJob(Spec{Examples: 8, Workers: 8, Load: 2, DataPoints: 32, Dim: 6, Iterations: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ckpt.bin"
+	if err := job.Checkpoint(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewJob(Spec{Examples: 8, Workers: 8, Load: 2, DataPoints: 32, Dim: 6, Iterations: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.RestoreCheckpoint(path); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+}
+
+func TestLatencyThreading(t *testing.T) {
+	rng := rngutil.New(4)
+	lat, err := cluster.NewShiftExp(16, []cluster.ShiftExpParams{{CommShift: 0.01, CommMu: 1}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(Spec{
+		Examples: 8, Workers: 16, Load: 2, DataPoints: 32, Dim: 4,
+		Iterations: 5, Seed: 5, Latency: lat, IngressPerUnit: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWall <= 0 {
+		t.Fatal("latency did not produce positive wall time")
+	}
+}

@@ -1,0 +1,342 @@
+// Package coupon implements the coupon-collector mathematics that underpins
+// the BCC scheme's analysis (Theorem 1 and Lemma 2 of the paper) and the
+// recovery-threshold curves of Fig. 2.
+//
+// Three collectors appear in the paper:
+//
+//   - the classic collector (one uniformly random coupon per draw), which
+//     models BCC's message collection over N = ceil(m/r) batches;
+//   - the batch / group-drawing collector (each draw reveals r distinct
+//     coupons sampled without replacement from m), which models the "simple
+//     randomized scheme" of eqs. (5)-(6);
+//   - the weighted collector used by the heterogeneous extension, handled in
+//     package hetero by direct Monte-Carlo over worker finish times.
+package coupon
+
+import (
+	"fmt"
+	"math"
+
+	"bcc/internal/rngutil"
+)
+
+// Harmonic returns the n-th harmonic number H_n = sum_{k=1..n} 1/k.
+// H_0 = 0. For n > 1e7 it switches to the asymptotic expansion
+// ln n + gamma + 1/(2n) - 1/(12n^2), whose error is far below 1e-12 there.
+func Harmonic(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("coupon: Harmonic of negative n=%d", n))
+	}
+	if n <= 1e7 {
+		// Sum small terms first for accuracy.
+		var h float64
+		for k := n; k >= 1; k-- {
+			h += 1 / float64(k)
+		}
+		return h
+	}
+	const gamma = 0.5772156649015328606
+	fn := float64(n)
+	return math.Log(fn) + gamma + 1/(2*fn) - 1/(12*fn*fn)
+}
+
+// ExpectedDraws returns the expected number of uniform draws (with
+// replacement) needed to collect all n coupon types: n * H_n.
+func ExpectedDraws(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * Harmonic(n)
+}
+
+// VarianceDraws returns the variance of the classic collector's draw count:
+// sum_{i=1..n-1} (1-p_i)/p_i^2 with p_i = (n-i)/n, which simplifies to
+// n^2 * sum_{k=1..n-1} 1/k^2 - n*H_{n-1} ... computed directly for clarity.
+func VarianceDraws(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	var v float64
+	fn := float64(n)
+	for i := 1; i < n; i++ {
+		p := float64(n-i) / fn
+		v += (1 - p) / (p * p)
+	}
+	return v
+}
+
+// BCCRecoveryThreshold returns the paper's K_BCC(r) = ceil(m/r) * H_{ceil(m/r)}
+// (eq. 2 / Theorem 1) — the expected number of worker messages the master
+// collects before every one of the ceil(m/r) batches is covered.
+func BCCRecoveryThreshold(m, r int) float64 {
+	if m <= 0 || r <= 0 {
+		panic(fmt.Sprintf("coupon: BCCRecoveryThreshold with m=%d r=%d", m, r))
+	}
+	n := (m + r - 1) / r // ceil(m/r)
+	return ExpectedDraws(n)
+}
+
+// LowerBound returns the paper's recovery-threshold lower bound m/r
+// (Theorem 1): no scheme with computational load r can finish, on average,
+// before m/r disjoint result sets arrive.
+func LowerBound(m, r int) float64 {
+	if m <= 0 || r <= 0 {
+		panic(fmt.Sprintf("coupon: LowerBound with m=%d r=%d", m, r))
+	}
+	return float64(m) / float64(r)
+}
+
+// SurvivalProb returns P(D > t) for the classic n-type collector after t
+// draws, by inclusion-exclusion:
+//
+//	P(D > t) = sum_{j=1..n} (-1)^{j+1} C(n,j) (1 - j/n)^t.
+//
+// Terms are accumulated in order; for the moderate n (<= a few hundred) used
+// in the experiments this is numerically adequate, and tests cross-check it
+// against Monte-Carlo.
+func SurvivalProb(n int, t int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if t < n {
+		return 1 // cannot have collected n types in fewer than n draws
+	}
+	var p float64
+	logC := 0.0 // log C(n, j) built incrementally
+	for j := 1; j <= n; j++ {
+		logC += math.Log(float64(n-j+1)) - math.Log(float64(j))
+		frac := 1 - float64(j)/float64(n)
+		var term float64
+		if frac > 0 {
+			term = math.Exp(logC + float64(t)*math.Log(frac))
+		} else if t == 0 {
+			term = math.Exp(logC)
+		}
+		if j%2 == 1 {
+			p += term
+		} else {
+			p -= term
+		}
+	}
+	// Clamp the tiny negative excursions of alternating-series cancellation.
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// TailBound returns the right-hand side of Lemma 2 (Theorem 1.23 in Auger &
+// Doerr): Pr(M >= (1+eps) n ln n) <= n^{-eps}.
+func TailBound(n int, eps float64) float64 {
+	if eps < 0 {
+		panic("coupon: TailBound with negative eps")
+	}
+	if n <= 1 {
+		return 1
+	}
+	return math.Pow(float64(n), -eps)
+}
+
+// SimulateDraws runs one classic collector process over n types and returns
+// the number of draws needed to see every type.
+func SimulateDraws(n int, rng *rngutil.RNG) int {
+	if n <= 0 {
+		return 0
+	}
+	seen := make([]bool, n)
+	remaining := n
+	draws := 0
+	for remaining > 0 {
+		draws++
+		c := rng.Intn(n)
+		if !seen[c] {
+			seen[c] = true
+			remaining--
+		}
+	}
+	return draws
+}
+
+// MeanDrawsMC estimates E[draws] for the classic collector by Monte-Carlo
+// over `trials` independent runs.
+func MeanDrawsMC(n, trials int, rng *rngutil.RNG) float64 {
+	if trials <= 0 {
+		panic("coupon: MeanDrawsMC with no trials")
+	}
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(SimulateDraws(n, rng))
+	}
+	return sum / float64(trials)
+}
+
+// ---------------------------------------------------------------------------
+// Batch (group-drawing) collector — the "simple randomized scheme"
+// ---------------------------------------------------------------------------
+
+// BatchExpectedDraws returns the expected number of draws to cover all m
+// coupons when each draw reveals r distinct coupons chosen uniformly without
+// replacement (the simple randomized scheme of eq. 5).
+//
+// It is computed exactly from the absorbing Markov chain on the number of
+// covered coupons c: a draw from state c covers k new coupons with
+// hypergeometric probability P(k|c) = C(m-c,k) C(c,r-k) / C(m,r), so
+//
+//	E[c] = (1 + sum_{k>=1} P(k|c) E[c+k]) / (1 - P(0|c)),  E[m] = 0,
+//
+// and the answer is E[0]. This avoids the catastrophic cancellation of the
+// direct inclusion-exclusion formula. Defined for 1 <= r <= m.
+func BatchExpectedDraws(m, r int) float64 {
+	if r <= 0 || m <= 0 || r > m {
+		panic(fmt.Sprintf("coupon: BatchExpectedDraws with m=%d r=%d", m, r))
+	}
+	if r == m {
+		return 1
+	}
+	// e[c] = expected additional draws given c coupons already covered.
+	e := make([]float64, m+1)
+	for c := m - 1; c >= 0; c-- {
+		pmf := hypergeomPMF(m, c, r)
+		var acc float64
+		for k := 1; k < len(pmf); k++ {
+			if pmf[k] > 0 {
+				acc += pmf[k] * e[c+k]
+			}
+		}
+		p0 := pmf[0]
+		if p0 >= 1 {
+			// Unreachable for valid inputs (a draw from c < m covers a new
+			// coupon with positive probability), but guard against rounding.
+			p0 = 1 - 1e-15
+		}
+		e[c] = (1 + acc) / (1 - p0)
+	}
+	return e[0]
+}
+
+// hypergeomPMF returns P(K = k) for k = 0..min(r, m-c): the probability that
+// a uniform r-subset of m coupons contains exactly k of the m-c uncovered
+// ones. Computed in log space via Lgamma for stability.
+func hypergeomPMF(m, c, r int) []float64 {
+	kmax := r
+	if m-c < kmax {
+		kmax = m - c
+	}
+	pmf := make([]float64, kmax+1)
+	logCmr := logChoose(m, r)
+	for k := 0; k <= kmax; k++ {
+		if r-k > c { // not enough already-covered coupons to fill the draw
+			continue
+		}
+		pmf[k] = math.Exp(logChoose(m-c, k) + logChoose(c, r-k) - logCmr)
+	}
+	return pmf
+}
+
+// logChoose returns log C(n, k), or -Inf when the coefficient is zero.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+// RandomizedRecoveryThreshold is the expected number of workers the master
+// must hear from under the simple randomized scheme with per-worker load r
+// over m examples — exactly BatchExpectedDraws(m, r), which is ~ (m/r) ln m
+// (paper eq. 5). Exposed under the paper's name for the Fig. 2 harness.
+func RandomizedRecoveryThreshold(m, r int) float64 { return BatchExpectedDraws(m, r) }
+
+// RandomizedCommunicationLoad is the expected communication load of the
+// simple randomized scheme: each counted worker ships r unit-size partial
+// gradients, so L = r * K_random ~ m log m (paper eq. 6).
+func RandomizedCommunicationLoad(m, r int) float64 {
+	return float64(r) * BatchExpectedDraws(m, r)
+}
+
+// SimulateBatchDraws runs one batch-collector process: draws of r distinct
+// coupons from m until all are covered; returns the number of draws.
+func SimulateBatchDraws(m, r int, rng *rngutil.RNG) int {
+	if r <= 0 || m <= 0 || r > m {
+		panic(fmt.Sprintf("coupon: SimulateBatchDraws with m=%d r=%d", m, r))
+	}
+	seen := make([]bool, m)
+	remaining := m
+	draws := 0
+	for remaining > 0 {
+		draws++
+		for _, c := range rng.Sample(m, r) {
+			if !seen[c] {
+				seen[c] = true
+				remaining--
+			}
+		}
+	}
+	return draws
+}
+
+// MeanBatchDrawsMC estimates the batch collector's expected draw count by
+// Monte-Carlo.
+func MeanBatchDrawsMC(m, r, trials int, rng *rngutil.RNG) float64 {
+	if trials <= 0 {
+		panic("coupon: MeanBatchDrawsMC with no trials")
+	}
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += float64(SimulateBatchDraws(m, r, rng))
+	}
+	return sum / float64(trials)
+}
+
+// Tracker incrementally tracks coverage of n coupon types; it is the
+// decoding-side primitive shared by the BCC decoder and the randomized
+// decoder. The zero value is unusable; create with NewTracker.
+type Tracker struct {
+	seen      []bool
+	remaining int
+}
+
+// NewTracker returns a Tracker over n types, all initially uncovered.
+func NewTracker(n int) *Tracker {
+	if n < 0 {
+		panic("coupon: NewTracker with negative n")
+	}
+	return &Tracker{seen: make([]bool, n), remaining: n}
+}
+
+// Offer marks coupon c covered and reports whether it was new. It panics if
+// c is out of range.
+func (t *Tracker) Offer(c int) bool {
+	if c < 0 || c >= len(t.seen) {
+		panic(fmt.Sprintf("coupon: Tracker.Offer out of range: %d of %d", c, len(t.seen)))
+	}
+	if t.seen[c] {
+		return false
+	}
+	t.seen[c] = true
+	t.remaining--
+	return true
+}
+
+// Covered reports whether coupon c has been seen.
+func (t *Tracker) Covered(c int) bool { return t.seen[c] }
+
+// Complete reports whether all types are covered.
+func (t *Tracker) Complete() bool { return t.remaining == 0 }
+
+// Remaining returns the number of uncovered types.
+func (t *Tracker) Remaining() int { return t.remaining }
+
+// Reset marks all types uncovered again, reusing storage.
+func (t *Tracker) Reset() {
+	for i := range t.seen {
+		t.seen[i] = false
+	}
+	t.remaining = len(t.seen)
+}

@@ -1,0 +1,320 @@
+package coupon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bcc/internal/rngutil"
+)
+
+func TestHarmonicSmall(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 1.5},
+		{3, 1.0 + 0.5 + 1.0/3},
+		{5, 137.0 / 60},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("H_%d = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicAsymptotic(t *testing.T) {
+	// The asymptotic branch must agree with direct summation at the
+	// crossover scale.
+	n := 10_000_000
+	direct := 0.0
+	for k := n; k >= 1; k-- {
+		direct += 1 / float64(k)
+	}
+	const gamma = 0.5772156649015328606
+	asym := math.Log(float64(n)) + gamma + 1/(2*float64(n))
+	if math.Abs(direct-asym) > 1e-9 {
+		t.Fatalf("harmonic branches disagree: %v vs %v", direct, asym)
+	}
+}
+
+func TestHarmonicNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Harmonic(-1) did not panic")
+		}
+	}()
+	Harmonic(-1)
+}
+
+func TestExpectedDraws(t *testing.T) {
+	// n=2: E = 2*(1 + 1/2) = 3.
+	if got := ExpectedDraws(2); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("E[draws] for n=2 = %v", got)
+	}
+	if got := ExpectedDraws(0); got != 0 {
+		t.Fatalf("E[draws] for n=0 = %v", got)
+	}
+}
+
+func TestExpectedDrawsMatchesMC(t *testing.T) {
+	rng := rngutil.New(100)
+	for _, n := range []int{2, 5, 10, 25} {
+		want := ExpectedDraws(n)
+		got := MeanDrawsMC(n, 20000, rng)
+		// MC standard error is ~ sqrt(Var)/sqrt(trials); be generous.
+		tol := 4 * math.Sqrt(VarianceDraws(n)/20000)
+		if math.Abs(got-want) > tol+0.05 {
+			t.Fatalf("n=%d: MC mean %v vs analytic %v (tol %v)", n, got, want, tol)
+		}
+	}
+}
+
+func TestVarianceDraws(t *testing.T) {
+	// n=2: geometric(1/2) second phase -> Var = (1-p)/p^2 = 2.
+	if got := VarianceDraws(2); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Var for n=2 = %v", got)
+	}
+	if got := VarianceDraws(1); got != 0 {
+		t.Fatalf("Var for n=1 = %v", got)
+	}
+}
+
+func TestBCCRecoveryThreshold(t *testing.T) {
+	// Scenario one of the paper: m=50, r=10 -> N=5 batches, K = 5*H_5 ~ 11.42.
+	got := BCCRecoveryThreshold(50, 10)
+	want := 5 * Harmonic(5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("K_BCC(50,10) = %v, want %v", got, want)
+	}
+	if math.Abs(got-11.4166666) > 1e-4 {
+		t.Fatalf("K_BCC(50,10) = %v, want ~11.42 (paper observed 11)", got)
+	}
+	// Scenario two: m=100, r=10 -> N=10, K = 10*H_10 ~ 29.29.
+	got2 := BCCRecoveryThreshold(100, 10)
+	if math.Abs(got2-10*Harmonic(10)) > 1e-12 {
+		t.Fatalf("K_BCC(100,10) = %v", got2)
+	}
+	// Ceiling behaviour: m=10, r=3 -> N=4.
+	if got := BCCRecoveryThreshold(10, 3); math.Abs(got-4*Harmonic(4)) > 1e-12 {
+		t.Fatalf("ceil branch: %v", got)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	if got := LowerBound(100, 10); got != 10 {
+		t.Fatalf("lower bound = %v", got)
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	// Theorem 1: m/r <= K_BCC(r), with equality only at m/r = 1.
+	for m := 10; m <= 200; m += 10 {
+		for r := 1; r <= m; r *= 2 {
+			lb, ub := LowerBound(m, r), BCCRecoveryThreshold(m, r)
+			if lb > ub+1e-9 {
+				t.Fatalf("m=%d r=%d: lower bound %v exceeds K_BCC %v", m, r, lb, ub)
+			}
+		}
+	}
+}
+
+func TestSurvivalProbSanity(t *testing.T) {
+	n := 10
+	if got := SurvivalProb(n, n-1); got != 1 {
+		t.Fatalf("P(D > n-1) = %v, want 1", got)
+	}
+	// Monotone non-increasing in t.
+	prev := 1.0
+	for tt := n; tt < 200; tt++ {
+		p := SurvivalProb(n, tt)
+		if p > prev+1e-9 {
+			t.Fatalf("survival increased at t=%d: %v > %v", tt, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("survival out of range at t=%d: %v", tt, p)
+		}
+		prev = p
+	}
+	if prev > 1e-6 {
+		t.Fatalf("survival should be ~0 at t=200 for n=10, got %v", prev)
+	}
+}
+
+func TestSurvivalProbMatchesExpectation(t *testing.T) {
+	// E[D] = sum_{t>=0} P(D > t); check against n*H_n.
+	n := 12
+	var e float64
+	for tt := 0; tt < 2000; tt++ {
+		e += SurvivalProb(n, tt)
+	}
+	want := ExpectedDraws(n)
+	if math.Abs(e-want) > 1e-6 {
+		t.Fatalf("sum of survival = %v, want %v", e, want)
+	}
+}
+
+func TestSurvivalProbMatchesMC(t *testing.T) {
+	rng := rngutil.New(200)
+	n, tt, trials := 8, 30, 40000
+	exceed := 0
+	for i := 0; i < trials; i++ {
+		if SimulateDraws(n, rng) > tt {
+			exceed++
+		}
+	}
+	got := float64(exceed) / float64(trials)
+	want := SurvivalProb(n, tt)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("P(D>%d) MC %v vs analytic %v", tt, got, want)
+	}
+}
+
+func TestTailBound(t *testing.T) {
+	// Lemma 2: Pr(M >= (1+eps) n ln n) <= n^{-eps}.
+	if got := TailBound(100, 1); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("TailBound(100,1) = %v", got)
+	}
+	if got := TailBound(5, 0); got != 1 {
+		t.Fatalf("TailBound eps=0 = %v", got)
+	}
+}
+
+func TestTailBoundHoldsEmpirically(t *testing.T) {
+	rng := rngutil.New(300)
+	n, eps, trials := 20, 0.5, 30000
+	threshold := (1 + eps) * float64(n) * math.Log(float64(n))
+	exceed := 0
+	for i := 0; i < trials; i++ {
+		if float64(SimulateDraws(n, rng)) >= threshold {
+			exceed++
+		}
+	}
+	got := float64(exceed) / float64(trials)
+	bound := TailBound(n, eps)
+	if got > bound+0.01 {
+		t.Fatalf("empirical tail %v exceeds Lemma 2 bound %v", got, bound)
+	}
+}
+
+func TestBatchExpectedDrawsEdges(t *testing.T) {
+	// r == m: one draw covers everything.
+	if got := BatchExpectedDraws(10, 10); got != 1 {
+		t.Fatalf("BatchExpectedDraws(10,10) = %v", got)
+	}
+	// r == 1 reduces to the classic collector.
+	for _, m := range []int{2, 5, 12} {
+		got := BatchExpectedDraws(m, 1)
+		want := ExpectedDraws(m)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("m=%d r=1: %v vs classic %v", m, got, want)
+		}
+	}
+}
+
+func TestBatchExpectedDrawsMatchesMC(t *testing.T) {
+	rng := rngutil.New(400)
+	cases := []struct{ m, r int }{{10, 2}, {20, 5}, {50, 10}, {30, 3}}
+	for _, c := range cases {
+		want := BatchExpectedDraws(c.m, c.r)
+		got := MeanBatchDrawsMC(c.m, c.r, 20000, rng)
+		if math.Abs(got-want) > 0.05*want+0.1 {
+			t.Fatalf("m=%d r=%d: MC %v vs analytic %v", c.m, c.r, got, want)
+		}
+	}
+}
+
+func TestRandomizedVsBCCOrdering(t *testing.T) {
+	// Paper Fig. 2: the randomized scheme needs more draws than BCC's
+	// batched collector (it is chasing m coupons, not m/r), and both exceed
+	// the lower bound.
+	m := 100
+	for r := 2; r <= 50; r += 4 {
+		lb := LowerBound(m, r)
+		bcc := BCCRecoveryThreshold(m, r)
+		rnd := RandomizedRecoveryThreshold(m, r)
+		if !(lb <= bcc+1e-9) {
+			t.Fatalf("r=%d: lb %v > bcc %v", r, lb, bcc)
+		}
+		if !(bcc <= rnd+1e-9) {
+			t.Fatalf("r=%d: bcc %v > randomized %v", r, bcc, rnd)
+		}
+	}
+}
+
+func TestRandomizedCommunicationLoad(t *testing.T) {
+	m, r := 100, 10
+	if got, want := RandomizedCommunicationLoad(m, r), float64(r)*BatchExpectedDraws(m, r); got != want {
+		t.Fatalf("comm load %v, want %v", got, want)
+	}
+	// ~ m log m within a factor of 2 at this scale.
+	approx := float64(m) * math.Log(float64(m))
+	ratio := RandomizedCommunicationLoad(m, r) / approx
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("comm load ratio to m log m = %v", ratio)
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(3)
+	if tr.Complete() {
+		t.Fatal("fresh tracker complete")
+	}
+	if !tr.Offer(0) {
+		t.Fatal("first offer should be new")
+	}
+	if tr.Offer(0) {
+		t.Fatal("duplicate offer should not be new")
+	}
+	tr.Offer(1)
+	if tr.Remaining() != 1 {
+		t.Fatalf("remaining = %d", tr.Remaining())
+	}
+	tr.Offer(2)
+	if !tr.Complete() {
+		t.Fatal("tracker should be complete")
+	}
+	tr.Reset()
+	if tr.Complete() || tr.Remaining() != 3 || tr.Covered(0) {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestTrackerOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range offer did not panic")
+		}
+	}()
+	NewTracker(2).Offer(5)
+}
+
+// Property: simulated draw counts are always >= n and the tracker agrees
+// with the simulator's notion of completion.
+func TestSimulatePropertyMinimumDraws(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rngutil.New(seed)
+		n := 1 + rng.Intn(40)
+		return SimulateDraws(n, rng) >= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchSimulatePropertyMinimumDraws(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rngutil.New(seed)
+		m := 2 + rng.Intn(40)
+		r := 1 + rng.Intn(m)
+		d := SimulateBatchDraws(m, r, rng)
+		min := (m + r - 1) / r
+		return d >= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package coupon
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution functions of the classic collector beyond the mean: the PMF
+// and quantiles back capacity planning ("how many workers do I need so BCC
+// finishes with probability 99%?") and the partial-coverage expectations
+// back the approximate-coverage extension (coding.BCCApprox).
+
+// PMF returns P(D = t) for the classic n-type collector: the probability
+// that coverage completes exactly at draw t. Computed as the difference of
+// survival probabilities, P(D > t-1) - P(D > t).
+func PMF(n, t int) float64 {
+	if n <= 0 || t < n {
+		return 0
+	}
+	p := SurvivalProb(n, t-1) - SurvivalProb(n, t)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// CDF returns P(D <= t) = 1 - SurvivalProb(n, t).
+func CDF(n, t int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return 1 - SurvivalProb(n, t)
+}
+
+// Quantile returns the smallest t with P(D <= t) >= q, i.e. the number of
+// draws that suffices with probability q. It panics for q outside (0, 1).
+func Quantile(n int, q float64) int {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("coupon: Quantile q=%v outside (0,1)", q))
+	}
+	if n <= 0 {
+		return 0
+	}
+	// The mean is n*H_n and the tail decays geometrically; start at the
+	// minimum and walk. For the n used here (<= a few hundred) the walk is
+	// short; a doubling search guards pathological q.
+	t := n
+	for CDF(n, t) < q {
+		step := 1 + t/8
+		t += step
+	}
+	// Walk back to the smallest satisfying t.
+	for t > n && CDF(n, t-1) >= q {
+		t--
+	}
+	return t
+}
+
+// PartialExpectedDraws returns the expected draws to collect k DISTINCT
+// coupons of n types: sum_{i=0..k-1} n/(n-i). For k = n it equals
+// ExpectedDraws(n); this is the analytic threshold of the approximate-
+// coverage BCC extension. It panics if k > n or k < 0.
+func PartialExpectedDraws(n, k int) float64 {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("coupon: PartialExpectedDraws k=%d of n=%d", k, n))
+	}
+	var e float64
+	for i := 0; i < k; i++ {
+		e += float64(n) / float64(n-i)
+	}
+	return e
+}
+
+// MarginalDrawCost returns the expected number of additional draws to go
+// from k-1 to k distinct coupons: n/(n-k+1). It quantifies why the LAST
+// coupons dominate the collector's cost (the approximate-coverage story).
+func MarginalDrawCost(n, k int) float64 {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("coupon: MarginalDrawCost k=%d of n=%d", k, n))
+	}
+	return float64(n) / float64(n-k+1)
+}
+
+// WorkersForConfidence returns the number of workers n_w such that, with
+// every worker drawing one uniform batch of N types, coverage completes
+// within n_w draws with probability at least q — a capacity-planning helper
+// for provisioning BCC clusters.
+func WorkersForConfidence(nTypes int, q float64) int {
+	return Quantile(nTypes, q)
+}
+
+// ExpectedDrawsPartialMatchesFull is a consistency helper used in tests:
+// |PartialExpectedDraws(n,n) - ExpectedDraws(n)|.
+func ExpectedDrawsPartialMatchesFull(n int) float64 {
+	return math.Abs(PartialExpectedDraws(n, n) - ExpectedDraws(n))
+}

@@ -1,0 +1,170 @@
+package coupon
+
+import (
+	"math"
+	"testing"
+
+	"bcc/internal/rngutil"
+)
+
+func TestPMFSumsToOne(t *testing.T) {
+	n := 10
+	var sum float64
+	for tt := n; tt < 500; tt++ {
+		sum += PMF(n, tt)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PMF mass %v", sum)
+	}
+}
+
+func TestPMFMeanMatchesExpectedDraws(t *testing.T) {
+	n := 8
+	var mean float64
+	for tt := n; tt < 400; tt++ {
+		mean += float64(tt) * PMF(n, tt)
+	}
+	want := ExpectedDraws(n)
+	if math.Abs(mean-want) > 1e-4 {
+		t.Fatalf("PMF mean %v vs %v", mean, want)
+	}
+}
+
+func TestPMFZeroBelowMinimum(t *testing.T) {
+	if PMF(5, 4) != 0 || PMF(5, 0) != 0 {
+		t.Fatal("PMF must vanish below n draws")
+	}
+	if PMF(5, 5) <= 0 {
+		t.Fatal("PMF at minimum draws must be positive")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	n := 12
+	prev := -1.0
+	for tt := 0; tt < 300; tt++ {
+		c := CDF(n, tt)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF decreased at t=%d", tt)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range at t=%d: %v", tt, c)
+		}
+		prev = c
+	}
+	if CDF(n, 1000) < 0.999999 {
+		t.Fatal("CDF must approach 1")
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	n := 15
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		tq := Quantile(n, q)
+		if CDF(n, tq) < q {
+			t.Fatalf("q=%v: CDF(%d)=%v below q", q, tq, CDF(n, tq))
+		}
+		if tq > n && CDF(n, tq-1) >= q {
+			t.Fatalf("q=%v: %d is not the smallest satisfying t", q, tq)
+		}
+	}
+}
+
+func TestQuantileMatchesMC(t *testing.T) {
+	rng := rngutil.New(950)
+	n, q := 10, 0.9
+	tq := Quantile(n, q)
+	within := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if SimulateDraws(n, rng) <= tq {
+			within++
+		}
+	}
+	got := float64(within) / trials
+	if got < q-0.02 {
+		t.Fatalf("MC coverage %v below target %v at t=%d", got, q, tq)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q=1 accepted")
+		}
+	}()
+	Quantile(5, 1)
+}
+
+func TestPartialExpectedDraws(t *testing.T) {
+	if d := ExpectedDrawsPartialMatchesFull(20); d > 1e-12 {
+		t.Fatalf("partial(n,n) != full: %v", d)
+	}
+	if got := PartialExpectedDraws(10, 0); got != 0 {
+		t.Fatalf("k=0 cost %v", got)
+	}
+	// First coupon is free-ish: n/n = 1 draw.
+	if got := PartialExpectedDraws(10, 1); got != 1 {
+		t.Fatalf("k=1 cost %v", got)
+	}
+}
+
+func TestPartialMatchesMC(t *testing.T) {
+	rng := rngutil.New(951)
+	n, k := 12, 8
+	want := PartialExpectedDraws(n, k)
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		seen := make([]bool, n)
+		distinct, draws := 0, 0
+		for distinct < k {
+			draws++
+			c := rng.Intn(n)
+			if !seen[c] {
+				seen[c] = true
+				distinct++
+			}
+		}
+		sum += float64(draws)
+	}
+	got := sum / trials
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("partial MC %v vs analytic %v", got, want)
+	}
+}
+
+func TestMarginalDrawCostGrows(t *testing.T) {
+	n := 20
+	prev := 0.0
+	var total float64
+	for k := 1; k <= n; k++ {
+		c := MarginalDrawCost(n, k)
+		if c < prev {
+			t.Fatalf("marginal cost fell at k=%d", k)
+		}
+		prev = c
+		total += c
+	}
+	// Telescoping: sum of marginals = full expectation.
+	if math.Abs(total-ExpectedDraws(n)) > 1e-9 {
+		t.Fatalf("marginals sum %v != %v", total, ExpectedDraws(n))
+	}
+	// The last coupon alone costs n draws in expectation.
+	if MarginalDrawCost(n, n) != float64(n) {
+		t.Fatal("last coupon must cost n draws")
+	}
+}
+
+func TestWorkersForConfidence(t *testing.T) {
+	// Need more workers for higher confidence.
+	lo := WorkersForConfidence(10, 0.5)
+	hi := WorkersForConfidence(10, 0.99)
+	if hi <= lo {
+		t.Fatalf("confidence 0.99 needs %d <= %d", hi, lo)
+	}
+	// And always at least n.
+	if lo < 10 {
+		t.Fatalf("quantile %d below minimum draws", lo)
+	}
+}

@@ -1,0 +1,124 @@
+package coupon
+
+import (
+	"math"
+	"testing"
+
+	"bcc/internal/rngutil"
+)
+
+func TestWeightedExpectedDrawsUniformReducesToClassic(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = 1 / float64(n)
+		}
+		got := WeightedExpectedDraws(p)
+		want := ExpectedDraws(n)
+		if math.Abs(got-want) > 1e-4*want {
+			t.Fatalf("n=%d: weighted %v vs classic %v", n, got, want)
+		}
+	}
+}
+
+func TestWeightedExpectedDrawsTwoTypeClosedForm(t *testing.T) {
+	// Inclusion-exclusion: E = 1/p1 + 1/p2 - 1/(p1+p2).
+	p1, p2 := 1.0/3, 2.0/3
+	want := 1/p1 + 1/p2 - 1
+	got := WeightedExpectedDraws([]float64{p1, p2})
+	if math.Abs(got-want) > 1e-5 {
+		t.Fatalf("two-type: %v vs %v", got, want)
+	}
+}
+
+func TestWeightedExpectedDrawsThreeTypeClosedForm(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	want := 0.0
+	// E = sum 1/p_i - sum 1/(p_i+p_j) + 1/(p1+p2+p3).
+	want += 1/p[0] + 1/p[1] + 1/p[2]
+	want -= 1/(p[0]+p[1]) + 1/(p[0]+p[2]) + 1/(p[1]+p[2])
+	want += 1.0
+	got := WeightedExpectedDraws(p)
+	if math.Abs(got-want) > 1e-5 {
+		t.Fatalf("three-type: %v vs %v", got, want)
+	}
+}
+
+func TestWeightedMatchesMC(t *testing.T) {
+	rng := rngutil.New(900)
+	w := ZipfWeights(15, 0.8)
+	want := WeightedExpectedDraws(w)
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += float64(SimulateWeightedDraws(w, rng))
+	}
+	got := sum / trials
+	if math.Abs(got-want) > 0.03*want {
+		t.Fatalf("MC %v vs analytic %v", got, want)
+	}
+}
+
+func TestSkewInflatesThreshold(t *testing.T) {
+	// The more skewed the selection, the more draws coverage needs.
+	prev := 0.0
+	for _, s := range []float64{0, 0.5, 1.0, 1.5} {
+		e := WeightedExpectedDraws(ZipfWeights(20, s))
+		if e <= prev {
+			t.Fatalf("skew s=%v did not inflate threshold: %v <= %v", s, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(10, 1)
+	var sum float64
+	for i, v := range w {
+		if v <= 0 {
+			t.Fatalf("weight %d non-positive", i)
+		}
+		if i > 0 && v > w[i-1] {
+			t.Fatal("zipf weights must be non-increasing")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum %v", sum)
+	}
+	// s = 0 is uniform.
+	u := ZipfWeights(4, 0)
+	for _, v := range u {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("s=0 not uniform: %v", u)
+		}
+	}
+}
+
+func TestWeightedPanicsOnBadInput(t *testing.T) {
+	for _, bad := range [][]float64{{0.5, 0.6}, {0.5, -0.1, 0.6}, {1.2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("weights %v accepted", bad)
+				}
+			}()
+			WeightedExpectedDraws(bad)
+		}()
+	}
+}
+
+func TestSimulateWeightedUniformAgreesWithClassic(t *testing.T) {
+	rng := rngutil.New(901)
+	w := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += float64(SimulateWeightedDraws(w, rng))
+	}
+	got := sum / trials
+	want := ExpectedDraws(8)
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("uniform weighted MC %v vs classic %v", got, want)
+	}
+}

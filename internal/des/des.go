@@ -1,0 +1,155 @@
+// Package des is a small discrete-event simulation engine: a virtual clock
+// and an event heap with deterministic tie-breaking. The cluster simulator
+// (internal/cluster) runs the master/worker timing model on top of it, which
+// makes the paper's EC2 experiments reproducible in milliseconds of real
+// time instead of minutes of wall clock.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handle identifies a scheduled event and can be used to cancel it.
+type Handle struct {
+	ev *event
+}
+
+type event struct {
+	time  float64
+	seq   uint64 // insertion order breaks time ties deterministically
+	fn    func()
+	index int // heap index; -1 once removed
+	dead  bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. The zero value is
+// ready to use with the clock at 0. It is NOT safe for concurrent use.
+type Scheduler struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Scheduler) Processed() uint64 { return s.nRun }
+
+// Pending returns the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past panics:
+// a simulation that needs it has a logic bug.
+func (s *Scheduler) At(t float64, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: scheduling at NaN time")
+	}
+	ev := &event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn after a non-negative virtual delay d.
+func (s *Scheduler) After(d float64, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a scheduled event; cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// actually cancelled.
+func (s *Scheduler) Cancel(h Handle) bool {
+	ev := h.ev
+	if ev == nil || ev.dead || ev.index < 0 {
+		return false
+	}
+	ev.dead = true
+	heap.Remove(&s.events, ev.index)
+	return true
+}
+
+// Step executes the single earliest pending event; it reports whether an
+// event was executed.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.time
+		s.nRun++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain and returns the final time.
+func (s *Scheduler) Run() float64 {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t
+// (even if idle) and returns the number of events executed.
+func (s *Scheduler) RunUntil(t float64) int {
+	if t < s.now {
+		panic(fmt.Sprintf("des: RunUntil(%v) before now %v", t, s.now))
+	}
+	n := 0
+	for len(s.events) > 0 {
+		// Peek: events[0] is the earliest live event only after skipping
+		// dead ones, so pop-and-check like Step does.
+		if s.events[0].dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if s.events[0].time > t {
+			break
+		}
+		s.Step()
+		n++
+	}
+	s.now = t
+	return n
+}

@@ -1,0 +1,207 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bcc/internal/rngutil"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 3 {
+		t.Fatalf("final time %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	var s Scheduler
+	var order []string
+	s.At(5, func() { order = append(order, "a") })
+	s.At(5, func() { order = append(order, "b") })
+	s.At(5, func() { order = append(order, "c") })
+	s.Run()
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("tie order = %q", got)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var s Scheduler
+	var at float64
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Fatalf("nested After fired at %v", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Scheduler
+	fired := false
+	h := s.At(1, func() { fired = true })
+	if !s.Cancel(h) {
+		t.Fatal("first cancel should succeed")
+	}
+	if s.Cancel(h) {
+		t.Fatal("second cancel should be a no-op")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	var s Scheduler
+	h := s.At(1, func() {})
+	s.Run()
+	if s.Cancel(h) {
+		t.Fatal("cancelling a fired event should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	var fired []float64
+	for _, tt := range []float64{1, 2, 3, 4, 5} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	n := s.RunUntil(3)
+	if n != 3 {
+		t.Fatalf("RunUntil executed %d events", n)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock at %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// Idle advance.
+	var s2 Scheduler
+	s2.RunUntil(7)
+	if s2.Now() != 7 {
+		t.Fatalf("idle RunUntil clock %v", s2.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var s Scheduler
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var s Scheduler
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestProcessedCount(t *testing.T) {
+	var s Scheduler
+	for i := 0; i < 10; i++ {
+		s.After(float64(i), func() {})
+	}
+	s.Run()
+	if s.Processed() != 10 {
+		t.Fatalf("Processed = %d", s.Processed())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain where each event schedules the next; total must match.
+	var s Scheduler
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			s.After(1, chain)
+		}
+	}
+	s.After(0, chain)
+	end := s.Run()
+	if count != 100 {
+		t.Fatalf("chain executed %d times", count)
+	}
+	if end != 99 {
+		t.Fatalf("end time %v", end)
+	}
+}
+
+// Property: random schedules always execute in non-decreasing time order.
+func TestMonotoneClockProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rngutil.New(seed)
+		var s Scheduler
+		n := 1 + rng.Intn(200)
+		times := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			tt := rng.Float64() * 100
+			s.At(tt, func() { times = append(times, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelled subsets never fire, everything else does.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rngutil.New(seed)
+		var s Scheduler
+		n := 1 + rng.Intn(100)
+		fired := make([]bool, n)
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			i := i
+			handles[i] = s.At(rng.Float64()*10, func() { fired[i] = true })
+		}
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Bernoulli(0.3) {
+				cancelled[i] = true
+				s.Cancel(handles[i])
+			}
+		}
+		s.Run()
+		for i := 0; i < n; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

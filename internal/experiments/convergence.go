@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bcc/internal/core"
+	"bcc/internal/rngutil"
+)
+
+// Convergence measures what the paper's introduction actually promises:
+// loss as a function of WALL-CLOCK time, not iteration count. All exact
+// schemes take identical optimization trajectories per iteration, so the
+// scheme with the smallest per-iteration time reaches any loss target
+// first; this experiment reports the simulated time for each scheme to
+// drive the training loss below a target.
+func Convergence(opt Options) (*Table, error) {
+	m, n, r := 50, 50, 10
+	dim, ppu := 400, 10
+	iters := opt.iterations()
+	target := 0.10 // training loss target (from ln 2 ~ 0.69 at w = 0)
+	if opt.Quick {
+		m, n, r = 20, 20, 5
+		dim, ppu = 60, 4
+		target = 0.35 // reachable within the shortened run
+	}
+	t := &Table{
+		ID:      "convergence",
+		Title:   fmt.Sprintf("wall-clock time to reach training loss <= %.2f (m=%d, n=%d)", target, m, n),
+		Columns: []string{"scheme", "r", "iters to target", "wall time to target (s)", "final loss"},
+	}
+	type cell struct {
+		scheme string
+		r      int
+	}
+	cells := []cell{{"uncoded", 1}, {"cyclicrep", r}, {"bcc", r}}
+	for _, c := range cells {
+		rng := rngutil.New(opt.seed() ^ 0xc0f)
+		lat, err := EC2Latency(n, ppu, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		job, err := core.NewJob(core.Spec{
+			DataPoints:     m * ppu,
+			Dim:            dim,
+			Examples:       m,
+			Workers:        n,
+			Load:           c.r,
+			Scheme:         c.scheme,
+			Iterations:     iters,
+			Seed:           rng.Uint64(),
+			Latency:        lat,
+			IngressPerUnit: ec2IngressPerUnit,
+			LossEvery:      1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := job.Run()
+		if err != nil {
+			return nil, err
+		}
+		elapsed := 0.0
+		hitIter, hitTime := -1, math.NaN()
+		finalLoss := math.NaN()
+		for _, it := range res.Iters {
+			elapsed += it.Wall
+			if !math.IsNaN(it.Loss) {
+				finalLoss = it.Loss
+				if hitIter < 0 && it.Loss <= target {
+					hitIter = it.Iter
+					hitTime = elapsed
+				}
+			}
+		}
+		itersCell := "-"
+		if hitIter >= 0 {
+			itersCell = fmt.Sprintf("%d", hitIter)
+		}
+		t.AddRow(c.scheme, c.r, itersCell, hitTime, finalLoss)
+	}
+	t.Notes = append(t.Notes,
+		"exact schemes share the per-iteration trajectory, so iterations-to-target coincide; wall time is where BCC wins",
+		"this is the paper's introduction claim made concrete: straggler mitigation buys wall-clock convergence",
+	)
+	return t, nil
+}
+
+// Scaling tests the paper's scalability bullet: as the cluster grows with
+// m and r fixed per scenario-one proportions, BCC's recovery threshold
+// stays pinned near ceil(m/r)*H while the uncoded scheme's grows linearly
+// with n — and total time follows.
+func Scaling(opt Options) (*Table, error) {
+	r := 10
+	dim, ppu := 200, 10
+	iters := opt.iterations() / 2
+	if iters < 5 {
+		iters = 5
+	}
+	ns := []int{50, 100, 200, 400}
+	if opt.Quick {
+		r = 5
+		dim, ppu = 40, 4
+		ns = []int{20, 40}
+	}
+	t := &Table{
+		ID:      "scaling",
+		Title:   fmt.Sprintf("cluster-size scaling at fixed load r=%d (m=n, %d iterations)", r, iters),
+		Columns: []string{"n", "BCC avg K", "BCC total (s)", "uncoded avg K", "uncoded total (s)", "BCC speedup"},
+	}
+	for _, n := range ns {
+		m := n
+		runOne := func(scheme string, load int) (float64, float64, error) {
+			rng := rngutil.New(opt.seed() ^ uint64(n*31+load))
+			lat, err := EC2Latency(n, ppu, rng.Split())
+			if err != nil {
+				return 0, 0, err
+			}
+			job, err := core.NewJob(core.Spec{
+				DataPoints:     m * ppu,
+				Dim:            dim,
+				Examples:       m,
+				Workers:        n,
+				Load:           load,
+				Scheme:         scheme,
+				Iterations:     iters,
+				Seed:           rng.Uint64(),
+				Latency:        lat,
+				IngressPerUnit: ec2IngressPerUnit,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := job.Run()
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.AvgWorkersHeard, res.TotalWall, nil
+		}
+		bccK, bccT, err := runOne("bcc", r)
+		if err != nil {
+			return nil, err
+		}
+		uncK, uncT, err := runOne("uncoded", 1)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, bccK, bccT, uncK, uncT, fmt.Sprintf("%.1f%%", 100*(1-bccT/uncT)))
+	}
+	t.Notes = append(t.Notes,
+		"with m = n growing at fixed r, BCC's threshold is ceil(n/r)*H ~ (n/r) log(n/r) — asymptotically far below uncoded's n — so the speedup persists at every scale",
+		"paper's scalability bullet: decentralized placement lets BCC scale with no data reshuffling",
+	)
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bcc/internal/cluster"
+	"bcc/internal/rngutil"
+)
+
+// EC2-like calibration for the Fig. 4 / Table I-II reproduction.
+//
+// The paper measured t2.micro instances exchanging p = 8000-float gradients
+// (64 KB messages) over MPI, with communication dominating computation. Our
+// substitute charges, per example unit (one "data batch" of the paper):
+//
+//   - compute: shift 0.8 ms/unit plus an exponential tail averaging 0.4
+//     ms/unit at load 10 units — reproducing the paper's per-iteration
+//     computation times (~2-20 ms depending on how many workers the master
+//     waits for);
+//   - upload: shift 5 ms plus an exponential tail averaging ~80 ms per
+//     message — the straggler spread of a congested cloud network;
+//   - master ingress: 5.5 ms of master NIC occupancy per message unit
+//     (64 KB / ~12 MB/s), which serializes message receipt and makes each
+//     scheme's communication time roughly proportional to its recovery
+//     threshold, exactly the proportionality the paper reports.
+//
+// Constants are expressed per unit so the timing shape is independent of the
+// data down-scaling (pointsPerUnit) used to keep the default runs laptop
+// sized.
+const (
+	ec2ComputeShiftPerUnit = 8e-4   // seconds of deterministic compute per unit
+	ec2ComputeTailPerUnit  = 4e-4   // mean seconds of compute tail per unit
+	ec2CommShiftPerUnit    = 5e-3   // seconds of deterministic upload per unit
+	ec2CommTailPerUnit     = 8e-2   // mean seconds of upload tail per unit
+	ec2IngressPerUnit      = 5.5e-3 // master drain seconds per message unit
+)
+
+// EC2Latency builds the calibrated shift-exponential latency model for n
+// workers whose example units each hold pointsPerUnit raw data points.
+func EC2Latency(n, pointsPerUnit int, rng *rngutil.RNG) (cluster.Latency, error) {
+	ppu := float64(pointsPerUnit)
+	params := cluster.ShiftExpParams{
+		// Latency.Compute is charged per raw point; normalize by ppu.
+		ComputeShift: ec2ComputeShiftPerUnit / ppu,
+		// Tail mean for a load of L points is L/mu; choosing mu = ppu /
+		// tailPerUnit makes the mean (L/ppu)*tailPerUnit, i.e. tailPerUnit
+		// seconds per unit.
+		ComputeMu: ppu / ec2ComputeTailPerUnit,
+		CommShift: ec2CommShiftPerUnit,
+		CommMu:    1 / ec2CommTailPerUnit,
+	}
+	return cluster.NewShiftExp(n, []cluster.ShiftExpParams{params}, rng)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner is one reproducible experiment.
+type Runner func(Options) (*Table, error)
+
+// registry maps experiment ids to runners, in the order of DESIGN.md §4.
+var registry = map[string]Runner{
+	"fig2":        Fig2,
+	"fig4":        Fig4,
+	"table1":      Table1,
+	"table2":      Table2,
+	"fig5":        Fig5,
+	"theorem1":    Theorem1,
+	"theorem2":    Theorem2,
+	"commload":    CommLoad,
+	"fractional":  Fractional,
+	"tailbound":   TailBound,
+	"multibatch":  MultiBatch,
+	"approx":      Approx,
+	"skew":        Skew,
+	"heterotrain": HeteroTrain,
+	"convergence": Convergence,
+	"scaling":     Scaling,
+}
+
+// order fixes the presentation order for "all".
+var order = []string{
+	"fig2", "fig4", "table1", "table2", "fig5",
+	"theorem1", "theorem2", "commload", "fractional", "tailbound",
+	"multibatch", "approx", "skew", "heterotrain", "convergence", "scaling",
+}
+
+// Names lists all experiment ids in presentation order.
+func Names() []string {
+	out := append([]string(nil), order...)
+	// Safety: include any registered id missing from the order slice.
+	for id := range registry {
+		found := false
+		for _, o := range out {
+			if o == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Run executes one experiment by id and renders it to w.
+func Run(id string, opt Options, w io.Writer) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+	}
+	t, err := r(opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	if w != nil {
+		t.Render(w)
+	}
+	return t, nil
+}
+
+// RunAll executes every experiment in order, rendering each to w.
+func RunAll(opt Options, w io.Writer) ([]*Table, error) {
+	var tables []*Table
+	for _, id := range order {
+		t, err := Run(id, opt, w)
+		if err != nil {
+			return tables, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

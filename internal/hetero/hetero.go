@@ -1,0 +1,430 @@
+// Package hetero implements the paper's heterogeneous-cluster extension
+// (§IV): the shift-exponential worker model (eq. 15), the waiting-time
+// functional T̂(s) (eq. 18), an HCMM-style load allocator for problem P2
+// (eq. 19, following Reisizadeh et al. [16]), the load-balancing baseline of
+// §IV-C, the generalized-BCC coverage process (eq. 16), and the constant c
+// of Theorem 2.
+package hetero
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bcc/internal/coupon"
+	"bcc/internal/optimize"
+	"bcc/internal/rngutil"
+)
+
+// WorkerParams are the straggler (mu) and shift (a) parameters of one
+// worker: processing r examples takes a*r plus an Exp(mu/r) tail (eq. 15).
+type WorkerParams struct {
+	Mu    float64 // straggler parameter, > 0
+	Shift float64 // shift parameter a, >= 0
+}
+
+// Cluster is a heterogeneous set of workers.
+type Cluster []WorkerParams
+
+// Validate checks the parameters are admissible.
+func (c Cluster) Validate() error {
+	if len(c) == 0 {
+		return fmt.Errorf("hetero: empty cluster")
+	}
+	for i, w := range c {
+		if w.Mu <= 0 {
+			return fmt.Errorf("hetero: worker %d has mu=%v, need > 0", i, w.Mu)
+		}
+		if w.Shift < 0 {
+			return fmt.Errorf("hetero: worker %d has negative shift %v", i, w.Shift)
+		}
+	}
+	return nil
+}
+
+// SampleTimes draws every worker's completion time for the given integer
+// loads (examples per worker). A zero load yields time 0 and contributes no
+// work.
+func (c Cluster) SampleTimes(loads []int, rng *rngutil.RNG) []float64 {
+	if len(loads) != len(c) {
+		panic(fmt.Sprintf("hetero: %d loads for %d workers", len(loads), len(c)))
+	}
+	times := make([]float64, len(c))
+	for i, w := range c {
+		if loads[i] <= 0 {
+			times[i] = 0
+			continue
+		}
+		times[i] = rng.ShiftedExponential(w.Mu, w.Shift, float64(loads[i]))
+	}
+	return times
+}
+
+// CompletionCDF returns P(T_i <= t) for worker i carrying the given load.
+func (c Cluster) CompletionCDF(i int, load float64, t float64) float64 {
+	if load <= 0 {
+		return 1
+	}
+	w := c[i]
+	shift := w.Shift * load
+	if t < shift {
+		return 0
+	}
+	return 1 - math.Exp(-(w.Mu/load)*(t-shift))
+}
+
+// THatRealization computes one realization of T̂(s) (eq. 18): the earliest
+// time by which the workers that have finished deliver at least s partial
+// gradients (with multiplicity). It returns +Inf when the total work is
+// below s.
+func THatRealization(loads []int, times []float64, s int) float64 {
+	if len(loads) != len(times) {
+		panic("hetero: loads/times length mismatch")
+	}
+	type ft struct {
+		t float64
+		r int
+	}
+	fts := make([]ft, 0, len(loads))
+	for i, r := range loads {
+		if r > 0 {
+			fts = append(fts, ft{times[i], r})
+		}
+	}
+	sort.Slice(fts, func(a, b int) bool { return fts[a].t < fts[b].t })
+	acc := 0
+	for _, x := range fts {
+		acc += x.r
+		if acc >= s {
+			return x.t
+		}
+	}
+	return math.Inf(1)
+}
+
+// ExpectedTHat estimates E[T̂(s)] by Monte-Carlo over `trials` samples.
+func (c Cluster) ExpectedTHat(loads []int, s, trials int, rng *rngutil.RNG) float64 {
+	if trials <= 0 {
+		panic("hetero: ExpectedTHat with no trials")
+	}
+	var sum float64
+	for k := 0; k < trials; k++ {
+		sum += THatRealization(loads, c.SampleTimes(loads, rng), s)
+	}
+	return sum / float64(trials)
+}
+
+// ---------------------------------------------------------------------------
+// Load allocation (problem P2, following Reisizadeh et al.)
+// ---------------------------------------------------------------------------
+
+// Allocation is the result of solving P2 approximately.
+type Allocation struct {
+	// Loads are the per-worker example counts r_i.
+	Loads []int
+	// Tau is the deadline at which the expected aggregated work first
+	// reaches the target s.
+	Tau float64
+	// ExpectedWork is sum_i r_i * P(T_i <= Tau) at the solution.
+	ExpectedWork float64
+}
+
+// TotalLoad returns sum_i r_i.
+func (a Allocation) TotalLoad() int {
+	t := 0
+	for _, r := range a.Loads {
+		t += r
+	}
+	return t
+}
+
+// expectedWorkByTau returns, for a deadline tau, each worker's optimal
+// continuous load r_i(tau) = argmax_r r*P(T_i <= tau) and the aggregate
+// expected work sum_i r_i(tau) * P(T_i <= tau).
+func (c Cluster) expectedWorkByTau(tau float64) ([]float64, float64) {
+	loads := make([]float64, len(c))
+	var total float64
+	for i, w := range c {
+		if tau <= 0 {
+			continue
+		}
+		hi := tau / math.Max(w.Shift, 1e-12) // beyond this, P(T<=tau) = 0
+		g := func(r float64) float64 {
+			if r <= 0 {
+				return 0
+			}
+			return r * c.CompletionCDF(i, r, tau)
+		}
+		r, gr := optimize.GoldenMax(g, 0, hi, 1e-10)
+		loads[i] = r
+		total += gr
+	}
+	return loads, total
+}
+
+// Allocate solves P2 approximately for target s: it bisects the deadline tau
+// so that the aggregate expected work by tau equals s, with each worker
+// carrying its per-deadline optimal load (Reisizadeh et al.'s asymptotically
+// optimal scheme), then rounds loads to integers, preserving feasibility.
+func (c Cluster) Allocate(s int) (Allocation, error) {
+	if err := c.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	if s <= 0 {
+		return Allocation{}, fmt.Errorf("hetero: Allocate with s=%d", s)
+	}
+	// Bracket tau: expected work is 0 at tau=0 and grows without bound.
+	hi := 1.0
+	for k := 0; k < 200; k++ {
+		if _, w := c.expectedWorkByTau(hi); w >= float64(s) {
+			break
+		}
+		hi *= 2
+	}
+	tau := optimize.BisectIncreasing(func(t float64) float64 {
+		_, w := c.expectedWorkByTau(t)
+		return w
+	}, float64(s), 0, hi, 1e-10)
+	cont, work := c.expectedWorkByTau(tau)
+	loads := make([]int, len(c))
+	for i, r := range cont {
+		loads[i] = int(math.Ceil(r)) // ceil so realized work dominates target
+	}
+	return Allocation{Loads: loads, Tau: tau, ExpectedWork: work}, nil
+}
+
+// LoadBalancedLoads is the paper's LB baseline (§IV-C): distribute the m
+// examples proportionally to the straggler parameters, r_i = mu_i/sum(mu)*m,
+// rounded by largest remainder so the loads sum exactly to m.
+func (c Cluster) LoadBalancedLoads(m int) []int {
+	var muSum float64
+	for _, w := range c {
+		muSum += w.Mu
+	}
+	loads := make([]int, len(c))
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, len(c))
+	total := 0
+	for i, w := range c {
+		exact := float64(m) * w.Mu / muSum
+		loads[i] = int(math.Floor(exact))
+		total += loads[i]
+		fracs[i] = frac{i, exact - math.Floor(exact)}
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for k := 0; total < m; k++ {
+		loads[fracs[k%len(fracs)].i]++
+		total++
+	}
+	return loads
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end evaluation of the two strategies (Fig. 5)
+// ---------------------------------------------------------------------------
+
+// LBResult evaluates the LB baseline: disjoint placement, uncoded
+// communication, and the master waiting for EVERY loaded worker, so the
+// completion time of a trial is max_i T_i. Returns the Monte-Carlo mean.
+func (c Cluster) LBResult(m, trials int, rng *rngutil.RNG) float64 {
+	loads := c.LoadBalancedLoads(m)
+	var sum float64
+	for k := 0; k < trials; k++ {
+		times := c.SampleTimes(loads, rng)
+		var worst float64
+		for i, t := range times {
+			if loads[i] > 0 && t > worst {
+				worst = t
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(trials)
+}
+
+// CoverageResult evaluates the generalized BCC scheme of §IV: each worker i
+// independently samples loads[i] distinct examples uniformly at random;
+// workers report at their completion times; the master stops at the first
+// time the union of reported sample sets covers all m examples (eq. 16).
+// It returns the Monte-Carlo mean over covered trials and the number of
+// trials that failed to reach coverage (counted, not averaged).
+func (c Cluster) CoverageResult(m int, loads []int, trials int, rng *rngutil.RNG) (mean float64, failures int) {
+	if len(loads) != len(c) {
+		panic(fmt.Sprintf("hetero: %d loads for %d workers", len(loads), len(c)))
+	}
+	var sum float64
+	covered := 0
+	for k := 0; k < trials; k++ {
+		times := c.SampleTimes(loads, rng)
+		type ft struct {
+			t float64
+			i int
+		}
+		order := make([]ft, 0, len(c))
+		for i := range c {
+			if loads[i] > 0 {
+				order = append(order, ft{times[i], i})
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a].t < order[b].t })
+		tracker := coupon.NewTracker(m)
+		var tEnd float64
+		done := false
+		for _, x := range order {
+			r := loads[x.i]
+			if r > m {
+				r = m
+			}
+			for _, ex := range rng.Sample(m, r) {
+				tracker.Offer(ex)
+			}
+			if tracker.Complete() {
+				tEnd = x.t
+				done = true
+				break
+			}
+		}
+		if !done {
+			failures++
+			continue
+		}
+		sum += tEnd
+		covered++
+	}
+	if covered > 0 {
+		mean = sum / float64(covered)
+	}
+	return mean, failures
+}
+
+// CoverageResultRetry is CoverageResult with a decentralized retry rule that
+// makes the protocol terminate almost surely: a worker that has delivered
+// its initial batch keeps drawing fresh UNIT samples (one random example per
+// wave) and delivering them, with per-wave latency T(1) from the same
+// shift-exponential model. Coverage misses leave only a handful of examples
+// uncovered, so cheap unit waves close the gap in a few multiples of T(1)
+// instead of re-processing the full load. No coordination is needed —
+// workers never learn which examples are missing, preserving BCC's
+// decentralized character. maxWaves bounds the retries per worker; a trial
+// still uncovered then (probability decaying geometrically in maxWaves) is
+// scored at its last delivery time.
+func (c Cluster) CoverageResultRetry(m int, loads []int, trials, maxWaves int, rng *rngutil.RNG) float64 {
+	if len(loads) != len(c) {
+		panic(fmt.Sprintf("hetero: %d loads for %d workers", len(loads), len(c)))
+	}
+	if maxWaves <= 0 {
+		maxWaves = 50
+	}
+	var sum float64
+	for k := 0; k < trials; k++ {
+		type delivery struct {
+			t     float64
+			i     int
+			units int // examples in this delivery
+		}
+		var deliveries []delivery
+		clock := make([]float64, len(c))
+		// Initial full-load round.
+		times := c.SampleTimes(loads, rng)
+		for i := range c {
+			if loads[i] <= 0 {
+				continue
+			}
+			clock[i] = times[i]
+			deliveries = append(deliveries, delivery{clock[i], i, loads[i]})
+		}
+		// Unit retry waves.
+		unit := make([]int, len(c))
+		for i := range unit {
+			if loads[i] > 0 {
+				unit[i] = 1
+			}
+		}
+		for wave := 0; wave < maxWaves; wave++ {
+			wt := c.SampleTimes(unit, rng)
+			for i := range c {
+				if unit[i] == 0 {
+					continue
+				}
+				clock[i] += wt[i]
+				deliveries = append(deliveries, delivery{clock[i], i, 1})
+			}
+		}
+		sort.Slice(deliveries, func(a, b int) bool { return deliveries[a].t < deliveries[b].t })
+		tracker := coupon.NewTracker(m)
+		tEnd := 0.0
+		for _, d := range deliveries {
+			r := d.units
+			if r > m {
+				r = m
+			}
+			for _, ex := range rng.Sample(m, r) {
+				tracker.Offer(ex)
+			}
+			tEnd = d.t
+			if tracker.Complete() {
+				break
+			}
+		}
+		sum += tEnd
+	}
+	return sum / float64(trials)
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2 machinery
+// ---------------------------------------------------------------------------
+
+// TheoremTwoC returns the constant c = 2 + log(a + H_n/mu)/log(m) of
+// Theorem 2, with a = max shift and mu = min straggler parameter.
+func (c Cluster) TheoremTwoC(m int) float64 {
+	var a float64
+	mu := math.Inf(1)
+	for _, w := range c {
+		if w.Shift > a {
+			a = w.Shift
+		}
+		if w.Mu < mu {
+			mu = w.Mu
+		}
+	}
+	hn := coupon.Harmonic(len(c))
+	return 2 + math.Log(a+hn/mu)/math.Log(float64(m))
+}
+
+// TheoremTwoBounds evaluates the two sides of Theorem 2 by Monte-Carlo:
+// the lower bound min E[T̂(m)] and the upper bound min E[T̂(floor(c m log m))]
+// + 1, both at the allocator's solutions.
+func (c Cluster) TheoremTwoBounds(m, trials int, rng *rngutil.RNG) (lower, upper float64, err error) {
+	allocL, err := c.Allocate(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	lower = c.ExpectedTHat(allocL.Loads, m, trials, rng)
+	cc := c.TheoremTwoC(m)
+	s := int(math.Floor(cc * float64(m) * math.Log(float64(m))))
+	allocU, err := c.Allocate(s)
+	if err != nil {
+		return 0, 0, err
+	}
+	upper = c.ExpectedTHat(allocU.Loads, s, trials, rng) + 1
+	return lower, upper, nil
+}
+
+// PaperFig5Cluster returns the exact cluster of the paper's Fig. 5
+// evaluation: n = 100 workers, shift a_i = 20 for all, mu_i = 1 for the
+// first 95 workers and mu_i = 20 for the last 5.
+func PaperFig5Cluster() Cluster {
+	c := make(Cluster, 100)
+	for i := range c {
+		mu := 1.0
+		if i >= 95 {
+			mu = 20
+		}
+		c[i] = WorkerParams{Mu: mu, Shift: 20}
+	}
+	return c
+}

@@ -1,0 +1,202 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major complex matrix used by the cyclic-MDS code
+// construction (roots-of-unity circulants).
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix allocates a zeroed rows x cols complex matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: NewCMatrix with negative dimension")
+	}
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i sharing storage.
+func (m *CMatrix) Row(i int) []complex128 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	c := NewCMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CSolveLU solves the square complex system A x = b by Gaussian elimination
+// with partial pivoting (pivot by modulus). A and b are not modified.
+func CSolveLU(a *CMatrix, b []complex128) ([]complex128, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: CSolveLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: CSolveLU rhs length %d != %d", len(b), n)
+	}
+	lu := a.Clone()
+	x := make([]complex128, n)
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		p, maxv := k, cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu.At(i, k)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 || math.IsNaN(maxv) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) * inv
+			if f == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		ri := lu.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		d := ri[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// CMinNormRowSolve finds y with y^T A = c^T for a k x n complex matrix A
+// (k >= n, A of full column rank), i.e. A^T y = c, returning the solution of
+// the square head system when k == n and a normal-equations solution
+// otherwise: y = conj(A) (A^T conj(A))^{-1} c. For the cyclic-MDS decode the
+// system is square (|W| = n - s received workers vs n - s unknown rows), so
+// the square path is the common case.
+func CMinNormRowSolve(a *CMatrix, c []complex128) ([]complex128, error) {
+	k, n := a.Rows, a.Cols
+	if len(c) != n {
+		return nil, fmt.Errorf("linalg: CMinNormRowSolve rhs length %d != %d", len(c), n)
+	}
+	if k == n {
+		// Square: solve A^T y = c directly.
+		at := NewCMatrix(n, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				at.Set(j, i, a.At(i, j))
+			}
+		}
+		return CSolveLU(at, c)
+	}
+	if k < n {
+		return nil, fmt.Errorf("linalg: CMinNormRowSolve underdetermined: %d rows < %d cols", k, n)
+	}
+	// Overdetermined in y-count: minimum-norm via y = conj(A) (A^T conj(A))^{-1} c.
+	// G = A^T conj(A) is n x n.
+	g := NewCMatrix(n, n)
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			var s complex128
+			for i := 0; i < k; i++ {
+				s += a.At(i, p) * cmplx.Conj(a.At(i, q))
+			}
+			g.Set(p, q, s)
+		}
+	}
+	z, err := CSolveLU(g, c)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]complex128, k)
+	for i := 0; i < k; i++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += cmplx.Conj(a.At(i, j)) * z[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// CLeastSquares solves min_x ||A x - b||_2 for a complex m x n matrix with
+// m >= n and full column rank, via the normal equations A^H A x = A^H b.
+// The systems arising from the cyclic-MDS decoder are tiny and well scaled
+// (entries on the unit circle), so the normal-equation conditioning penalty
+// is acceptable; callers should verify the residual.
+func CLeastSquares(a *CMatrix, b []complex128) ([]complex128, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: CLeastSquares rhs length %d != %d", len(b), m)
+	}
+	if m < n {
+		return nil, fmt.Errorf("linalg: CLeastSquares underdetermined: %d rows < %d cols", m, n)
+	}
+	// G = A^H A (n x n), rhs = A^H b.
+	g := NewCMatrix(n, n)
+	rhs := make([]complex128, n)
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			var s complex128
+			for i := 0; i < m; i++ {
+				s += cmplx.Conj(a.At(i, p)) * a.At(i, q)
+			}
+			g.Set(p, q, s)
+		}
+		var s complex128
+		for i := 0; i < m; i++ {
+			s += cmplx.Conj(a.At(i, p)) * b[i]
+		}
+		rhs[p] = s
+	}
+	return CSolveLU(g, rhs)
+}
+
+// RootOfUnity returns e^{2*pi*i*k/n}.
+func RootOfUnity(k, n int) complex128 {
+	theta := 2 * math.Pi * float64(k%n) / float64(n)
+	return cmplx.Rect(1, theta)
+}
+
+// PolyFromRoots expands prod_j (x - roots[j]) into monomial coefficients,
+// lowest degree first; the result has len(roots)+1 entries with leading
+// coefficient 1.
+func PolyFromRoots(roots []complex128) []complex128 {
+	coeffs := []complex128{1}
+	for _, r := range roots {
+		next := make([]complex128, len(coeffs)+1)
+		for i, c := range coeffs {
+			next[i] -= r * c // -r * x^i term
+			next[i+1] += c   // x^{i+1} term
+		}
+		coeffs = next
+	}
+	return coeffs
+}

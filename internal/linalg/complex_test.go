@@ -1,0 +1,202 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"bcc/internal/rngutil"
+)
+
+func randCMatrix(rng *rngutil.RNG, rows, cols int) *CMatrix {
+	a := NewCMatrix(rows, cols)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.Normal(), rng.Normal())
+	}
+	return a
+}
+
+func cMaxAbsDiff(x, y []complex128) float64 {
+	var m float64
+	for i := range x {
+		if d := cmplx.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestCSolveLURoundTrip(t *testing.T) {
+	rng := rngutil.New(30)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randCMatrix(rng, n, n)
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = complex(rng.Normal(), rng.Normal())
+		}
+		b := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * want[j]
+			}
+			b[i] = s
+		}
+		got, err := CSolveLU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := cMaxAbsDiff(got, want); d > 1e-8 {
+			t.Fatalf("n=%d: error %v", n, d)
+		}
+	}
+}
+
+func TestCSolveLUSingular(t *testing.T) {
+	a := NewCMatrix(2, 2)
+	a.Set(0, 0, 1+1i)
+	a.Set(0, 1, 2+2i)
+	a.Set(1, 0, 2+2i)
+	a.Set(1, 1, 4+4i)
+	if _, err := CSolveLU(a, []complex128{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestCSolveLUDoesNotMutate(t *testing.T) {
+	rng := rngutil.New(31)
+	a := randCMatrix(rng, 4, 4)
+	aCopy := a.Clone()
+	b := []complex128{1, 2, 3, 4}
+	if _, err := CSolveLU(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if cMaxAbsDiff(a.Data, aCopy.Data) != 0 {
+		t.Fatal("CSolveLU mutated A")
+	}
+}
+
+func TestCMinNormRowSolveSquare(t *testing.T) {
+	rng := rngutil.New(32)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randCMatrix(rng, n, n)
+		c := make([]complex128, n)
+		for i := range c {
+			c[i] = complex(rng.Normal(), rng.Normal())
+		}
+		y, err := CMinNormRowSolve(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check y^T A = c.
+		got := make([]complex128, n)
+		for j := 0; j < n; j++ {
+			var s complex128
+			for i := 0; i < n; i++ {
+				s += y[i] * a.At(i, j)
+			}
+			got[j] = s
+		}
+		if d := cMaxAbsDiff(got, c); d > 1e-7 {
+			t.Fatalf("constraint violated by %v", d)
+		}
+	}
+}
+
+func TestCMinNormRowSolveOverdetermined(t *testing.T) {
+	rng := rngutil.New(33)
+	k, n := 9, 4
+	a := randCMatrix(rng, k, n)
+	c := make([]complex128, n)
+	for i := range c {
+		c[i] = complex(rng.Normal(), rng.Normal())
+	}
+	y, err := CMinNormRowSolve(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		var s complex128
+		for i := 0; i < k; i++ {
+			s += y[i] * a.At(i, j)
+		}
+		got[j] = s
+	}
+	if d := cMaxAbsDiff(got, c); d > 1e-7 {
+		t.Fatalf("constraint violated by %v", d)
+	}
+}
+
+func TestCMinNormRowSolveUnderdetermined(t *testing.T) {
+	a := NewCMatrix(1, 3)
+	if _, err := CMinNormRowSolve(a, []complex128{1, 2, 3}); err == nil {
+		t.Fatal("underdetermined case should fail")
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	n := 8
+	// omega^n == 1.
+	w := RootOfUnity(1, n)
+	p := complex(1, 0)
+	for i := 0; i < n; i++ {
+		p *= w
+	}
+	if cmplx.Abs(p-1) > 1e-12 {
+		t.Fatalf("omega^n = %v, want 1", p)
+	}
+	// Sum of all n-th roots is zero.
+	var s complex128
+	for k := 0; k < n; k++ {
+		s += RootOfUnity(k, n)
+	}
+	if cmplx.Abs(s) > 1e-12 {
+		t.Fatalf("sum of roots = %v, want 0", s)
+	}
+}
+
+func TestPolyFromRoots(t *testing.T) {
+	// (x-1)(x-2) = x^2 - 3x + 2
+	c := PolyFromRoots([]complex128{1, 2})
+	want := []complex128{2, -3, 1}
+	if cMaxAbsDiff(c, want) > 1e-12 {
+		t.Fatalf("PolyFromRoots = %v", c)
+	}
+	// Leading coefficient always 1; polynomial vanishes at each root.
+	roots := []complex128{1i, -2, 3 + 0.5i}
+	coeffs := PolyFromRoots(roots)
+	if cmplx.Abs(coeffs[len(coeffs)-1]-1) > 1e-12 {
+		t.Fatal("leading coefficient must be 1")
+	}
+	for _, r := range roots {
+		var v, x complex128 = 0, 1
+		for _, co := range coeffs {
+			v += co * x
+			x *= r
+		}
+		if cmplx.Abs(v) > 1e-9 {
+			t.Fatalf("polynomial does not vanish at root %v: %v", r, v)
+		}
+	}
+}
+
+func TestPolyFromRootsEmpty(t *testing.T) {
+	c := PolyFromRoots(nil)
+	if len(c) != 1 || c[0] != 1 {
+		t.Fatalf("PolyFromRoots(nil) = %v", c)
+	}
+}
+
+func TestRootOfUnityConjugateSymmetry(t *testing.T) {
+	n := 10
+	for k := 1; k < n; k++ {
+		a := RootOfUnity(k, n)
+		b := RootOfUnity(n-k, n)
+		if math.Abs(real(a)-real(b)) > 1e-12 || math.Abs(imag(a)+imag(b)) > 1e-12 {
+			t.Fatalf("omega^%d and omega^%d are not conjugates", k, n-k)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package model defines the learning tasks whose gradients are computed
+// distributedly: L2-regularized logistic regression (the paper's task) and
+// linear least squares (a second workload exercising the same machinery).
+//
+// Conventions. A Model computes, for a set of data rows G, the SUM of
+// per-example gradients sum_{j in G} g_j(w) — the quantity a worker ships.
+// The master divides the aggregated sum by the dataset size to obtain the
+// paper's gradient (1/m) sum_j g_j (eq. 1). Losses follow the same
+// convention (sums, normalized by the caller).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"bcc/internal/dataset"
+	"bcc/internal/vecmath"
+)
+
+// Model is a differentiable empirical-risk model over a fixed dataset.
+type Model interface {
+	// Dim returns the parameter dimension.
+	Dim() int
+	// NumExamples returns the number of data points backing the model.
+	NumExamples() int
+	// SubsetGradient accumulates sum_{j in rows} grad ell_j(w) into out,
+	// which must be zeroed by the caller and have length Dim().
+	SubsetGradient(w []float64, rows []int, out []float64)
+	// SubsetLoss returns sum_{j in rows} ell_j(w).
+	SubsetLoss(w []float64, rows []int) float64
+}
+
+// FullGradient evaluates the normalized full gradient (1/d) sum_j g_j(w).
+func FullGradient(m Model, w []float64) []float64 {
+	rows := allRows(m.NumExamples())
+	out := make([]float64, m.Dim())
+	m.SubsetGradient(w, rows, out)
+	vecmath.Scale(1/float64(m.NumExamples()), out)
+	return out
+}
+
+// FullLoss evaluates the normalized empirical risk (1/d) sum_j ell_j(w).
+func FullLoss(m Model, w []float64) float64 {
+	rows := allRows(m.NumExamples())
+	return m.SubsetLoss(w, rows) / float64(m.NumExamples())
+}
+
+func allRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Logistic regression
+// ---------------------------------------------------------------------------
+
+// Logistic is binary logistic regression with labels in {-1, +1}:
+// ell_j(w) = log(1 + exp(-y_j x_j^T w)) + (lambda/2) ||w||^2 / d_total.
+// The regularizer is spread uniformly over examples so that summing
+// per-example gradients reproduces the regularized full gradient.
+type Logistic struct {
+	Data   *dataset.Dataset
+	Lambda float64 // L2 regularization strength (0 = none, as in the paper)
+}
+
+// NewLogistic wraps a dataset in an unregularized logistic model.
+func NewLogistic(d *dataset.Dataset) *Logistic { return &Logistic{Data: d} }
+
+// Dim returns the feature dimension.
+func (l *Logistic) Dim() int { return l.Data.Dim() }
+
+// NumExamples returns the number of data points.
+func (l *Logistic) NumExamples() int { return l.Data.N() }
+
+// SubsetGradient implements Model.
+func (l *Logistic) SubsetGradient(w []float64, rows []int, out []float64) {
+	if len(out) != l.Dim() {
+		panic(fmt.Sprintf("model: gradient buffer %d != dim %d", len(out), l.Dim()))
+	}
+	x := l.Data.X
+	for _, j := range rows {
+		row := x.Row(j)
+		yj := l.Data.Y[j]
+		margin := yj * vecmath.Dot(row, w)
+		// d/dw log(1+exp(-margin)) = -y * sigma(-margin) * x
+		coeff := -yj * sigmoid(-margin)
+		vecmath.Axpy(coeff, row, out)
+	}
+	if l.Lambda != 0 {
+		frac := l.Lambda * float64(len(rows)) / float64(l.NumExamples())
+		vecmath.Axpy(frac, w, out)
+	}
+}
+
+// SubsetLoss implements Model.
+func (l *Logistic) SubsetLoss(w []float64, rows []int) float64 {
+	x := l.Data.X
+	var s float64
+	for _, j := range rows {
+		margin := l.Data.Y[j] * vecmath.Dot(x.Row(j), w)
+		s += logistic(margin)
+	}
+	if l.Lambda != 0 {
+		n2 := vecmath.Dot(w, w)
+		s += 0.5 * l.Lambda * n2 * float64(len(rows)) / float64(l.NumExamples())
+	}
+	return s
+}
+
+// Accuracy returns the fraction of points whose sign(x^T w) matches the
+// label.
+func (l *Logistic) Accuracy(w []float64) float64 {
+	correct := 0
+	for j := 0; j < l.NumExamples(); j++ {
+		score := vecmath.Dot(l.Data.X.Row(j), w)
+		pred := 1.0
+		if score < 0 {
+			pred = -1
+		}
+		if pred == l.Data.Y[j] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(l.NumExamples())
+}
+
+// logistic returns log(1 + exp(-m)) computed stably.
+func logistic(m float64) float64 {
+	if m > 0 {
+		return math.Log1p(math.Exp(-m))
+	}
+	return -m + math.Log1p(math.Exp(m))
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// ---------------------------------------------------------------------------
+// Linear least squares
+// ---------------------------------------------------------------------------
+
+// LeastSquares is the quadratic model ell_j(w) = 0.5 (x_j^T w - y_j)^2.
+// Unlike Logistic it permits closed-form optimum checks in tests.
+type LeastSquares struct {
+	X *vecmath.Matrix
+	Y []float64
+}
+
+// NewLeastSquares constructs a least-squares model; y may hold arbitrary
+// real targets. It panics if dimensions disagree.
+func NewLeastSquares(x *vecmath.Matrix, y []float64) *LeastSquares {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("model: least squares with %d rows but %d targets", x.Rows, len(y)))
+	}
+	return &LeastSquares{X: x, Y: y}
+}
+
+// Dim returns the feature dimension.
+func (m *LeastSquares) Dim() int { return m.X.Cols }
+
+// NumExamples returns the number of data points.
+func (m *LeastSquares) NumExamples() int { return m.X.Rows }
+
+// SubsetGradient implements Model.
+func (m *LeastSquares) SubsetGradient(w []float64, rows []int, out []float64) {
+	if len(out) != m.Dim() {
+		panic(fmt.Sprintf("model: gradient buffer %d != dim %d", len(out), m.Dim()))
+	}
+	for _, j := range rows {
+		row := m.X.Row(j)
+		resid := vecmath.Dot(row, w) - m.Y[j]
+		vecmath.Axpy(resid, row, out)
+	}
+}
+
+// SubsetLoss implements Model.
+func (m *LeastSquares) SubsetLoss(w []float64, rows []int) float64 {
+	var s float64
+	for _, j := range rows {
+		resid := vecmath.Dot(m.X.Row(j), w) - m.Y[j]
+		s += 0.5 * resid * resid
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference gradient checking
+// ---------------------------------------------------------------------------
+
+// GradCheck compares SubsetGradient against central finite differences of
+// SubsetLoss at w over the given rows. It returns the maximum absolute
+// component error. Used by tests for every model.
+func GradCheck(m Model, w []float64, rows []int, h float64) float64 {
+	analytic := make([]float64, m.Dim())
+	m.SubsetGradient(w, rows, analytic)
+	wp := vecmath.Clone(w)
+	var worst float64
+	for i := range w {
+		orig := wp[i]
+		wp[i] = orig + h
+		lp := m.SubsetLoss(wp, rows)
+		wp[i] = orig - h
+		lm := m.SubsetLoss(wp, rows)
+		wp[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if d := math.Abs(numeric - analytic[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,163 @@
+// Package optimize implements the first-order update rules driven by the
+// distributed gradient loop: plain gradient descent and Nesterov's
+// accelerated gradient method (the paper trains logistic regression with the
+// latter, §III-C).
+//
+// The distributed loop needs gradients at a point chosen by the optimizer
+// (Nesterov evaluates at the look-ahead point, not at the iterate), so the
+// interface splits each iteration into Query — the point to broadcast to
+// workers — and Update — fold the aggregated gradient back in.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"bcc/internal/vecmath"
+)
+
+// Optimizer is a first-order method advanced one gradient evaluation at a
+// time.
+type Optimizer interface {
+	// Query returns the point at which the next gradient must be evaluated.
+	// Callers must not mutate the returned slice.
+	Query() []float64
+	// Update consumes the gradient evaluated at the last Query point and
+	// advances the iterate.
+	Update(grad []float64)
+	// Iterate returns the current solution estimate w_t (not the query
+	// point). Callers must not mutate the returned slice.
+	Iterate() []float64
+	// Step returns the number of completed updates.
+	Step() int
+}
+
+// StepSize is a learning-rate schedule: it returns the step for iteration t
+// (0-based).
+type StepSize func(t int) float64
+
+// Constant returns the constant schedule mu_t = mu.
+func Constant(mu float64) StepSize {
+	if mu <= 0 {
+		panic(fmt.Sprintf("optimize: non-positive step size %v", mu))
+	}
+	return func(int) float64 { return mu }
+}
+
+// InverseTime returns mu_t = mu0 / (1 + t/t0), the classic damped schedule.
+func InverseTime(mu0, t0 float64) StepSize {
+	if mu0 <= 0 || t0 <= 0 {
+		panic("optimize: InverseTime needs positive parameters")
+	}
+	return func(t int) float64 { return mu0 / (1 + float64(t)/t0) }
+}
+
+// ---------------------------------------------------------------------------
+// Gradient descent
+// ---------------------------------------------------------------------------
+
+// GD is plain gradient descent w_{t+1} = w_t - mu_t g_t.
+type GD struct {
+	w    []float64
+	step StepSize
+	t    int
+}
+
+// NewGD starts gradient descent from w0 (copied) with the given schedule.
+func NewGD(w0 []float64, step StepSize) *GD {
+	return &GD{w: vecmath.Clone(w0), step: step}
+}
+
+// Query implements Optimizer; GD evaluates gradients at the iterate itself.
+func (g *GD) Query() []float64 { return g.w }
+
+// Update implements Optimizer.
+func (g *GD) Update(grad []float64) {
+	vecmath.Axpy(-g.step(g.t), grad, g.w)
+	g.t++
+}
+
+// Iterate implements Optimizer.
+func (g *GD) Iterate() []float64 { return g.w }
+
+// Step implements Optimizer.
+func (g *GD) Step() int { return g.t }
+
+// ---------------------------------------------------------------------------
+// Nesterov's accelerated gradient
+// ---------------------------------------------------------------------------
+
+// Nesterov implements the accelerated gradient method in its standard
+// momentum form:
+//
+//	y_t     = w_t + beta_t (w_t - w_{t-1})
+//	w_{t+1} = y_t - mu_t grad L(y_t)
+//
+// with beta_t = (theta_t - 1)/theta_{t+1} and theta_{t+1} =
+// (1 + sqrt(1 + 4 theta_t^2)) / 2, theta_0 = 1 (the FISTA sequence).
+type Nesterov struct {
+	w, wPrev []float64
+	y        []float64 // query point, rebuilt each iteration
+	step     StepSize
+	theta    float64
+	t        int
+}
+
+// NewNesterov starts the accelerated method from w0 (copied).
+func NewNesterov(w0 []float64, step StepSize) *Nesterov {
+	return &Nesterov{
+		w:     vecmath.Clone(w0),
+		wPrev: vecmath.Clone(w0),
+		y:     vecmath.Clone(w0),
+		step:  step,
+		theta: 1,
+	}
+}
+
+// Query implements Optimizer: the look-ahead point y_t.
+func (n *Nesterov) Query() []float64 {
+	thetaNext := (1 + math.Sqrt(1+4*n.theta*n.theta)) / 2
+	beta := (n.theta - 1) / thetaNext
+	for i := range n.y {
+		n.y[i] = n.w[i] + beta*(n.w[i]-n.wPrev[i])
+	}
+	return n.y
+}
+
+// Update implements Optimizer. The gradient must have been evaluated at the
+// point returned by the immediately preceding Query call.
+func (n *Nesterov) Update(grad []float64) {
+	thetaNext := (1 + math.Sqrt(1+4*n.theta*n.theta)) / 2
+	beta := (n.theta - 1) / thetaNext
+	mu := n.step(n.t)
+	for i := range n.w {
+		y := n.w[i] + beta*(n.w[i]-n.wPrev[i])
+		n.wPrev[i] = n.w[i]
+		n.w[i] = y - mu*grad[i]
+	}
+	n.theta = thetaNext
+	n.t++
+}
+
+// Iterate implements Optimizer.
+func (n *Nesterov) Iterate() []float64 { return n.w }
+
+// Step implements Optimizer.
+func (n *Nesterov) Step() int { return n.t }
+
+// ---------------------------------------------------------------------------
+// Sequential driver (used by tests and as the single-node reference)
+// ---------------------------------------------------------------------------
+
+// GradFn evaluates a full (normalized) gradient at w.
+type GradFn func(w []float64) []float64
+
+// Run performs `iters` optimizer iterations using gradients from fn and
+// returns the final iterate.
+func Run(opt Optimizer, fn GradFn, iters int) []float64 {
+	for i := 0; i < iters; i++ {
+		g := fn(opt.Query())
+		opt.Update(g)
+	}
+	return vecmath.Clone(opt.Iterate())
+}

@@ -1,0 +1,63 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// GoldenMax maximizes a unimodal scalar function on [lo, hi] by golden-
+// section search, returning the arg max and the maximum. It is used by the
+// heterogeneous load allocator to solve the per-worker inner problem
+// max_r r * P(T <= tau), which is unimodal on its domain.
+func GoldenMax(f func(float64) float64, lo, hi, tol float64) (float64, float64) {
+	if hi < lo {
+		panic(fmt.Sprintf("optimize: GoldenMax with hi %v < lo %v", hi, lo))
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	const invPhi = 0.6180339887498949 // 1/phi
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol*(1+math.Abs(a)+math.Abs(b)) {
+		if f1 < f2 {
+			a = x1
+			x1, f1 = x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b = x2
+			x2, f2 = x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	x := (a + b) / 2
+	return x, f(x)
+}
+
+// BisectIncreasing finds x in [lo, hi] with g(x) ~= target for a
+// non-decreasing g, by bisection to the given relative tolerance. It returns
+// hi if even g(hi) < target (caller should widen the bracket).
+func BisectIncreasing(g func(float64) float64, target, lo, hi, tol float64) float64 {
+	if g(hi) < target {
+		return hi
+	}
+	if g(lo) >= target {
+		return lo
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	for hi-lo > tol*(1+math.Abs(lo)+math.Abs(hi)) {
+		mid := (lo + hi) / 2
+		if g(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,192 @@
+// Package rngutil provides deterministic, splittable pseudo-random number
+// streams and the samplers used throughout the library.
+//
+// The generators are implemented from scratch (splitmix64 for seeding,
+// xoshiro256** for the main stream) so that experiment reproducibility does
+// not depend on the Go standard library's generator, which is free to change
+// between releases. Every experiment in this repository is driven by a seed
+// and is bit-for-bit reproducible.
+package rngutil
+
+import (
+	"math"
+)
+
+// RNG is a deterministic pseudo-random number generator based on
+// xoshiro256**. It is NOT safe for concurrent use; derive one stream per
+// goroutine with Split.
+type RNG struct {
+	s [4]uint64
+	// cached second normal variate from the Box-Muller transform
+	hasGauss bool
+	gauss    float64
+}
+
+// splitmix64 advances the state and returns the next value of the splitmix64
+// sequence. It is used to expand a single 64-bit seed into the 256-bit
+// xoshiro state, as recommended by the xoshiro authors.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed. Distinct seeds
+// yield decorrelated streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// The all-zero state is invalid for xoshiro; splitmix64 cannot produce
+	// four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent child stream. The child is seeded from the
+// parent's next output mixed through splitmix64, so parent and child
+// sequences are decorrelated and the parent advances deterministically.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// SplitN derives n independent child streams (e.g. one per worker).
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's unbiased bounded rejection method.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rngutil: Intn with non-positive bound")
+	}
+	bound := uint64(n)
+	// Fast path for powers of two.
+	if bound&(bound-1) == 0 {
+		return int(r.Uint64() & (bound - 1))
+	}
+	threshold := (-bound) % bound // 2^64 mod bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct integers drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rngutil: Sample with k out of range")
+	}
+	// Partial Fisher–Yates: O(n) memory but O(k) swaps; fine at our scales.
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k:k]
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Normal returns a standard normal variate via the Box–Muller transform
+// (polar form is avoided to keep the draw count deterministic per call pair).
+func (r *RNG) Normal() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.gauss = mag * math.Sin(2*math.Pi*v)
+	r.hasGauss = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// NormalMS returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) NormalMS(mean, stddev float64) float64 {
+	return mean + stddev*r.Normal()
+}
+
+// Exponential returns an exponential variate with the given rate λ > 0
+// (mean 1/λ). It panics if rate <= 0.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rngutil: Exponential with non-positive rate")
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// ShiftedExponential samples the paper's worker-latency model (eq. 15):
+//
+//	Pr[T <= t] = 1 - exp(-(mu/load) * (t - a*load)),  t >= a*load
+//
+// i.e. a deterministic shift a*load plus an exponential tail with rate
+// mu/load. load must be > 0 when mu or a is used; a zero load returns 0.
+func (r *RNG) ShiftedExponential(mu, a float64, load float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	return a*load + r.Exponential(mu/load)
+}

@@ -1,0 +1,271 @@
+package rngutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams with same seed diverged at draw %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical 64-bit draws out of 1000", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first draws")
+	}
+	// Splitting must be deterministic given the parent seed.
+	parent2 := New(7)
+	d1 := parent2.Split()
+	if c1Val, d1Val := New(7).Split().Uint64(), d1.Uint64(); c1Val != d1Val {
+		t.Fatalf("split determinism broken: %d vs %d", c1Val, d1Val)
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	streams := New(3).SplitN(8)
+	if len(streams) != 8 {
+		t.Fatalf("SplitN(8) returned %d streams", len(streams))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range streams {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatalf("duplicate first draw %d across SplitN streams", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(12)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(14)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for c, got := range counts {
+		expect := float64(draws) / n
+		if math.Abs(float64(got)-expect) > 5*math.Sqrt(expect) {
+			t.Fatalf("bucket %d count %d too far from %v", c, got, expect)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(15)
+	err := quick.Check(func(seed uint64) bool {
+		n := int(seed%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(16)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(40)
+		k := r.Intn(n + 1)
+		s := r.Sample(n, k)
+		if len(s) != k {
+			t.Fatalf("Sample(%d,%d) returned %d items", n, k, len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Sample(%d,%d) invalid element %d", n, k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleUniformMarginals(t *testing.T) {
+	// Each element should appear in a k-of-n sample with probability k/n.
+	r := New(17)
+	const n, k, trials = 10, 3, 60000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.Sample(n, k) {
+			counts[v]++
+		}
+	}
+	expect := float64(trials) * k / n
+	for v, got := range counts {
+		if math.Abs(float64(got)-expect) > 6*math.Sqrt(expect) {
+			t.Fatalf("element %d sampled %d times, expected ~%v", v, got, expect)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(18)
+	const n = 300000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestNormalMS(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.NormalMS(3, 0.5)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.01 {
+		t.Fatalf("NormalMS mean %v too far from 3", mean)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(20)
+	const n = 300000
+	const rate = 2.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exponential(rate)
+		if x < 0 {
+			t.Fatalf("exponential produced negative value %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("exponential mean %v too far from %v", mean, 1/rate)
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestShiftedExponential(t *testing.T) {
+	r := New(21)
+	const mu, a, load = 2.0, 5.0, 4.0
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.ShiftedExponential(mu, a, load)
+		if x < a*load {
+			t.Fatalf("shifted exponential below its shift: %v < %v", x, a*load)
+		}
+		sum += x
+	}
+	// E[T] = a*load + load/mu.
+	want := a*load + load/mu
+	if mean := sum / n; math.Abs(mean-want) > 0.05 {
+		t.Fatalf("shifted exponential mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestShiftedExponentialZeroLoad(t *testing.T) {
+	if v := New(1).ShiftedExponential(1, 1, 0); v != 0 {
+		t.Fatalf("zero load should cost zero time, got %v", v)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(22)
+	const p, n = 0.3, 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.005 {
+		t.Fatalf("Bernoulli frequency %v too far from %v", got, p)
+	}
+}

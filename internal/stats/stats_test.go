@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bcc/internal/rngutil"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if v := Variance(xs); math.Abs(v-2.5) > 1e-12 {
+		t.Fatalf("Variance = %v", v)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdErr(nil) != 0 {
+		t.Fatal("empty-input statistics should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Median([]float64{7}); q != 7 {
+		t.Fatalf("single-element median = %v", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(empty) did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Mean != 5.5 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String empty")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	ci := CI95(xs)
+	want := 1.959964 * StdDev(xs) / 10
+	if math.Abs(ci-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", ci, want)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	rng := rngutil.New(1)
+	var acc Accumulator
+	xs := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		x := rng.Normal()*3 + 1
+		xs = append(xs, x)
+		acc.Add(x)
+	}
+	if acc.N() != 1000 {
+		t.Fatalf("N = %d", acc.N())
+	}
+	if math.Abs(acc.Mean()-Mean(xs)) > 1e-10 {
+		t.Fatalf("acc mean %v vs %v", acc.Mean(), Mean(xs))
+	}
+	if math.Abs(acc.Variance()-Variance(xs)) > 1e-8 {
+		t.Fatalf("acc var %v vs %v", acc.Variance(), Variance(xs))
+	}
+	if acc.Min() != Min(xs) || acc.Max() != Max(xs) {
+		t.Fatal("acc min/max mismatch")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if acc.Variance() != 0 || acc.StdDev() != 0 {
+		t.Fatal("empty accumulator variance should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i))
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for b := 0; b < 5; b++ {
+		if h.Counts[b] != 2 {
+			t.Fatalf("bin %d count %d", b, h.Counts[b])
+		}
+		if math.Abs(h.Fraction(b)-0.2) > 1e-12 {
+			t.Fatalf("bin %d fraction %v", b, h.Fraction(b))
+		}
+	}
+	// Clamping.
+	h.Add(-100)
+	h.Add(+100)
+	if h.Counts[0] != 3 || h.Counts[4] != 3 {
+		t.Fatal("out-of-range values not clamped to edge bins")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(1, 1, 3)
+}
+
+// Property: variance is invariant under translation.
+func TestVarianceShiftInvariance(t *testing.T) {
+	f := func(seed uint64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			shift = 1
+		}
+		rng := rngutil.New(seed)
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Normal()
+			ys[i] = xs[i] + shift
+		}
+		return math.Abs(Variance(xs)-Variance(ys)) < 1e-6*(1+math.Abs(shift))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

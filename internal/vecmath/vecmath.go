@@ -1,0 +1,296 @@
+// Package vecmath provides the dense vector and matrix kernels used by the
+// gradient computations and the coding-scheme encoders/decoders.
+//
+// All kernels come in a plain serial form; the ones on the training hot path
+// (Dot, Axpy, Gemv, SumRows) also have parallel variants that shard work
+// across goroutines. The parallel variants are bit-for-bit equal to the
+// serial ones for Axpy/Scale/Add (element-wise sharding) and equal up to the
+// usual floating-point reassociation for reductions; tests pin both
+// behaviours.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Zeros returns a fresh zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Dot returns the inner product of x and y. It panics if lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place. It panics if lengths differ.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Scale computes x *= alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add computes z = x + y into a fresh slice.
+func Add(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: Add length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] + y[i]
+	}
+	return z
+}
+
+// Sub computes z = x - y into a fresh slice.
+func Sub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: Sub length mismatch %d vs %d", len(x), len(y)))
+	}
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = x[i] - y[i]
+	}
+	return z
+}
+
+// AddInto accumulates src into dst in place.
+func AddInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vecmath: AddInto length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x, guarding against overflow by
+// scaling (as in the reference BLAS dnrm2).
+func Norm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			ssq = 1 + ssq*(scale/a)*(scale/a)
+			scale = a
+		} else {
+			ssq += (a / scale) * (a / scale)
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute element of x (0 for empty x).
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MaxAbsDiff returns max_i |x_i - y_i|; a convenience for tests and
+// convergence checks.
+func MaxAbsDiff(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: MaxAbsDiff length mismatch %d vs %d", len(x), len(y)))
+	}
+	var m float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Matrix is a dense row-major matrix. Rows*Cols == len(Data).
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("vecmath: NewMatrix with negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Row returns the i-th row as a slice sharing the matrix's storage.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Gemv computes y = A*x for a row-major matrix A. It panics on dimension
+// mismatch. The returned slice is freshly allocated.
+func Gemv(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("vecmath: Gemv dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		y[i] = Dot(a.Row(i), x)
+	}
+	return y
+}
+
+// GemvT computes y = A^T*x. It panics on dimension mismatch.
+func GemvT(a *Matrix, x []float64) []float64 {
+	if a.Rows != len(x) {
+		panic(fmt.Sprintf("vecmath: GemvT dimension mismatch %dx%d ^T * %d", a.Rows, a.Cols, len(x)))
+	}
+	y := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		Axpy(x[i], a.Row(i), y)
+	}
+	return y
+}
+
+// ---------------------------------------------------------------------------
+// Parallel kernels
+// ---------------------------------------------------------------------------
+
+// DefaultParallelism is the goroutine fan-out used by the parallel kernels
+// when the caller passes workers <= 0.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// shard invokes fn(lo, hi) over a balanced partition of [0, n) using at most
+// `workers` goroutines and waits for completion. Small inputs run inline.
+func shard(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 1024 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelAxpy computes y += alpha*x using up to `workers` goroutines.
+// Element-wise sharding makes it bit-for-bit identical to Axpy.
+func ParallelAxpy(alpha float64, x, y []float64, workers int) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: ParallelAxpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	shard(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// ParallelGemv computes y = A*x sharding rows across goroutines; each output
+// element is a serial dot product so the result is bit-for-bit equal to Gemv.
+func ParallelGemv(a *Matrix, x []float64, workers int) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("vecmath: ParallelGemv dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	y := make([]float64, a.Rows)
+	shard(a.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = Dot(a.Row(i), x)
+		}
+	})
+	return y
+}
+
+// SumVectors returns the element-wise sum of the given equal-length vectors.
+// It panics if vs is empty or lengths differ. This is the "compress by
+// summation" primitive of the BCC and uncoded schemes (paper eq. 12).
+func SumVectors(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		panic("vecmath: SumVectors of empty set")
+	}
+	out := Clone(vs[0])
+	for _, v := range vs[1:] {
+		AddInto(out, v)
+	}
+	return out
+}
+
+// LinearCombination returns sum_i coeffs[i]*vs[i]. It panics if the slice
+// lengths disagree or vs is empty. This is the encoding primitive of the
+// coded schemes (CR/MDS): each worker transmits one linear combination of
+// its partial gradients.
+func LinearCombination(coeffs []float64, vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		panic("vecmath: LinearCombination of empty set")
+	}
+	if len(coeffs) != len(vs) {
+		panic(fmt.Sprintf("vecmath: LinearCombination arity mismatch %d vs %d", len(coeffs), len(vs)))
+	}
+	out := make([]float64, len(vs[0]))
+	for i, v := range vs {
+		Axpy(coeffs[i], v, out)
+	}
+	return out
+}

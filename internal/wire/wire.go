@@ -1,0 +1,308 @@
+// Package wire is a compact, allocation-conscious binary codec for the
+// cluster protocol frames (model broadcasts, worker replies, handshakes).
+// It exists because encoding/gob pays reflection and type-dictionary costs
+// on every 64 KB gradient payload; this codec writes float64 slices as raw
+// little-endian words. The TCP fabric can run on either codec (see
+// cluster.LiveOptions.Codec); both sides of a connection must agree.
+//
+// Frame layout (all integers little-endian):
+//
+//	frame := kind:uint8 body
+//	hello := worker:uint32
+//	model := iter:int64 vec(query)
+//	reply := iter:int64 worker:uint32 compute:float64 nmsgs:uint32 msg*
+//	msg   := from:uint32 tag:int64 units:float64 vec(vec) vec(imag)
+//	vec   := len:uint32 float64*          (len 0xFFFFFFFF encodes nil)
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Frame kinds.
+const (
+	KindHello byte = 1
+	KindModel byte = 2
+	KindReply byte = 3
+)
+
+// nilLen marks a nil slice (distinct from an empty one).
+const nilLen = ^uint32(0)
+
+// maxVecLen caps decoded vector lengths to keep a corrupted or malicious
+// length prefix from provoking a huge allocation (64 Mi floats = 512 MiB).
+const maxVecLen = 64 << 20
+
+// Hello is the handshake frame body.
+type Hello struct {
+	Worker int
+}
+
+// Model is a model-broadcast frame body; Iter < 0 signals shutdown.
+type Model struct {
+	Iter  int
+	Query []float64
+}
+
+// Msg mirrors coding.Message on the wire (kept dependency-free so the codec
+// can be tested and benchmarked standalone).
+type Msg struct {
+	From  int
+	Tag   int
+	Units float64
+	Vec   []float64
+	Imag  []float64
+}
+
+// Reply is a worker-reply frame body.
+type Reply struct {
+	Iter    int
+	Worker  int
+	Compute float64
+	Msgs    []Msg
+}
+
+// Writer frames and buffers outgoing frames. Not safe for concurrent use.
+type Writer struct {
+	bw      *bufio.Writer
+	scratch [8]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriterSize(w, 1<<16)} }
+
+func (w *Writer) u8(v byte) error { return w.bw.WriteByte(v) }
+
+func (w *Writer) u32(v uint32) error {
+	binary.LittleEndian.PutUint32(w.scratch[:4], v)
+	_, err := w.bw.Write(w.scratch[:4])
+	return err
+}
+
+func (w *Writer) i64(v int64) error {
+	binary.LittleEndian.PutUint64(w.scratch[:8], uint64(v))
+	_, err := w.bw.Write(w.scratch[:8])
+	return err
+}
+
+func (w *Writer) f64(v float64) error {
+	binary.LittleEndian.PutUint64(w.scratch[:8], math.Float64bits(v))
+	_, err := w.bw.Write(w.scratch[:8])
+	return err
+}
+
+func (w *Writer) vec(v []float64) error {
+	if v == nil {
+		return w.u32(nilLen)
+	}
+	if err := w.u32(uint32(len(v))); err != nil {
+		return err
+	}
+	for _, x := range v {
+		if err := w.f64(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHello emits a handshake frame and flushes.
+func (w *Writer) WriteHello(h Hello) error {
+	if err := w.u8(KindHello); err != nil {
+		return err
+	}
+	if err := w.u32(uint32(h.Worker)); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// WriteModel emits a model-broadcast frame and flushes.
+func (w *Writer) WriteModel(m Model) error {
+	if err := w.u8(KindModel); err != nil {
+		return err
+	}
+	if err := w.i64(int64(m.Iter)); err != nil {
+		return err
+	}
+	if err := w.vec(m.Query); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// WriteReply emits a worker-reply frame and flushes.
+func (w *Writer) WriteReply(r Reply) error {
+	if err := w.u8(KindReply); err != nil {
+		return err
+	}
+	if err := w.i64(int64(r.Iter)); err != nil {
+		return err
+	}
+	if err := w.u32(uint32(r.Worker)); err != nil {
+		return err
+	}
+	if err := w.f64(r.Compute); err != nil {
+		return err
+	}
+	if err := w.u32(uint32(len(r.Msgs))); err != nil {
+		return err
+	}
+	for _, m := range r.Msgs {
+		if err := w.u32(uint32(m.From)); err != nil {
+			return err
+		}
+		if err := w.i64(int64(m.Tag)); err != nil {
+			return err
+		}
+		if err := w.f64(m.Units); err != nil {
+			return err
+		}
+		if err := w.vec(m.Vec); err != nil {
+			return err
+		}
+		if err := w.vec(m.Imag); err != nil {
+			return err
+		}
+	}
+	return w.bw.Flush()
+}
+
+// Reader decodes frames. Not safe for concurrent use.
+type Reader struct {
+	br      *bufio.Reader
+	scratch [8]byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReaderSize(r, 1<<16)} }
+
+func (r *Reader) u8() (byte, error) { return r.br.ReadByte() }
+
+func (r *Reader) u32() (uint32, error) {
+	if _, err := io.ReadFull(r.br, r.scratch[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(r.scratch[:4]), nil
+}
+
+func (r *Reader) i64() (int64, error) {
+	if _, err := io.ReadFull(r.br, r.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(r.scratch[:8])), nil
+}
+
+func (r *Reader) f64() (float64, error) {
+	if _, err := io.ReadFull(r.br, r.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(r.scratch[:8])), nil
+}
+
+func (r *Reader) vec() ([]float64, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == nilLen {
+		return nil, nil
+	}
+	if n > maxVecLen {
+		return nil, fmt.Errorf("wire: vector length %d exceeds limit", n)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		if v[i], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// NextKind reads the next frame's kind byte.
+func (r *Reader) NextKind() (byte, error) {
+	k, err := r.u8()
+	if err != nil {
+		return 0, err
+	}
+	if k != KindHello && k != KindModel && k != KindReply {
+		return 0, fmt.Errorf("wire: unknown frame kind %d", k)
+	}
+	return k, nil
+}
+
+// ReadHello decodes a handshake body (after NextKind returned KindHello).
+func (r *Reader) ReadHello() (Hello, error) {
+	w, err := r.u32()
+	if err != nil {
+		return Hello{}, err
+	}
+	return Hello{Worker: int(w)}, nil
+}
+
+// ReadModel decodes a model body (after NextKind returned KindModel).
+func (r *Reader) ReadModel() (Model, error) {
+	iter, err := r.i64()
+	if err != nil {
+		return Model{}, err
+	}
+	q, err := r.vec()
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{Iter: int(iter), Query: q}, nil
+}
+
+// ReadReply decodes a reply body (after NextKind returned KindReply).
+func (r *Reader) ReadReply() (Reply, error) {
+	iter, err := r.i64()
+	if err != nil {
+		return Reply{}, err
+	}
+	worker, err := r.u32()
+	if err != nil {
+		return Reply{}, err
+	}
+	compute, err := r.f64()
+	if err != nil {
+		return Reply{}, err
+	}
+	nmsgs, err := r.u32()
+	if err != nil {
+		return Reply{}, err
+	}
+	if nmsgs > 1<<20 {
+		return Reply{}, fmt.Errorf("wire: message count %d exceeds limit", nmsgs)
+	}
+	rep := Reply{Iter: int(iter), Worker: int(worker), Compute: compute}
+	rep.Msgs = make([]Msg, nmsgs)
+	for i := range rep.Msgs {
+		from, err := r.u32()
+		if err != nil {
+			return Reply{}, err
+		}
+		tag, err := r.i64()
+		if err != nil {
+			return Reply{}, err
+		}
+		units, err := r.f64()
+		if err != nil {
+			return Reply{}, err
+		}
+		vec, err := r.vec()
+		if err != nil {
+			return Reply{}, err
+		}
+		imag, err := r.vec()
+		if err != nil {
+			return Reply{}, err
+		}
+		rep.Msgs[i] = Msg{From: int(from), Tag: int(tag), Units: units, Vec: vec, Imag: imag}
+	}
+	return rep, nil
+}
