@@ -19,14 +19,19 @@ import (
 
 // Spec describes a distributed training job; see core.Spec for the full
 // field documentation. Zero values select sensible defaults (scheme "bcc",
-// Nesterov optimizer, the "sim" runtime).
+// Nesterov optimizer, the "sim" runtime). All runtimes ("sim", "live",
+// "tcp") drive the same master engine over different transports; set
+// Pipelined to broadcast the next query the moment an iteration decodes,
+// cancelling straggler work in flight.
 type Spec = core.Spec
 
 // Job is a materialized training run; create with NewJob, execute with Run.
 type Job = core.Job
 
 // Result aggregates a run: final weights, per-iteration stats, timing
-// totals, and the empirical recovery threshold and communication load.
+// totals (including the end-to-end TotalElapsed, which is what pipelined
+// mode shrinks), and the empirical recovery threshold and communication
+// load.
 type Result = cluster.Result
 
 // IterStats is one iteration's measurements (wall/comm/comp split, workers

@@ -415,6 +415,47 @@ func BenchmarkHeteroAllocate(b *testing.B) {
 	}
 }
 
+// BenchmarkRuntimes compares the per-iteration overhead of the sim, live
+// and tcp transports driving the shared master engine on one fixed small
+// Spec. It is the baseline for future runtime-performance PRs: the reported
+// ns/cluster-iter isolates what each transport adds on top of the identical
+// engine/decode/optimizer work.
+func BenchmarkRuntimes(b *testing.B) {
+	const iters = 5
+	cases := []struct {
+		name      string
+		runtime   string
+		pipelined bool
+	}{
+		{"sim", "sim", false},
+		{"live", "live", false},
+		{"tcp", "tcp", false},
+		// Pipelined live exercises the preemptible worker path.
+		{"live-pipelined", "live", true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				job, err := core.NewJob(core.Spec{
+					Examples: 8, Workers: 8, Load: 2,
+					DataPoints: 64, Dim: 64, Iterations: iters,
+					Seed: 11, Runtime: tc.runtime, TimeScale: 1e-9,
+					Pipelined: tc.pipelined,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := job.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*iters), "ns/cluster-iter")
+		})
+	}
+}
+
 // benchTCPCodec measures a full training run over loopback TCP with the
 // given frame codec; the payload is a p=2048 gradient, so codec overhead is
 // visible.

@@ -45,6 +45,7 @@ func main() {
 		index  = fs.Int("index", 0, "worker index (worker role only)")
 		wait   = fs.Duration("timeout", 60*time.Second, "per-iteration / accept timeout")
 		codec  = fs.String("codec", "gob", "frame encoding: gob|wire (must match across processes)")
+		pipe   = fs.Bool("pipelined", false, "pipelined iterations: cancel stale in-flight work on a fresher query (must match across processes)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fail(err)
@@ -84,6 +85,7 @@ func main() {
 			Units:      job.Units,
 			Opt:        job.Opt,
 			Iterations: *iters,
+			Pipelined:  *pipe,
 		}
 		res, err := cluster.RunWithFabric(cfg, fab, cluster.LiveOptions{Timeout: *wait, TimeScale: 1})
 		if err != nil {
@@ -103,6 +105,7 @@ func main() {
 			Latency:   cluster.Zero{},
 			TimeScale: 1,
 			Codec:     *codec,
+			Pipelined: *pipe,
 		}
 		fmt.Printf("worker %d: dialing %s\n", *index, *addr)
 		if err := cluster.DialAndServeWorker(*addr, env); err != nil {

@@ -35,6 +35,7 @@ func main() {
 		optName = flag.String("opt", "nesterov", "optimizer: nesterov|gd")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		runtime = flag.String("runtime", "sim", "runtime: sim|live|tcp")
+		pipe    = flag.Bool("pipelined", false, "broadcast the next query the moment an iteration decodes, cancelling straggler work in flight")
 		ec2     = flag.Bool("ec2", false, "inject the calibrated EC2-like straggler profile")
 		dead    = flag.String("dead", "", "comma-separated worker indices that never respond")
 		lossEv  = flag.Int("loss-every", 10, "record training loss every k iterations (0=never)")
@@ -56,6 +57,7 @@ func main() {
 		Optimizer:  *optName,
 		Seed:       *seed,
 		Runtime:    *runtime,
+		Pipelined:  *pipe,
 		LossEvery:  *lossEv,
 	}
 	if *ec2 {
@@ -113,7 +115,8 @@ func main() {
 		}
 		fmt.Printf("%-6d %-10.4f %-10d %-8.0f %-10.5f\n", it.Iter, it.Wall, it.WorkersHeard, it.Units, it.Loss)
 	}
-	fmt.Printf("\ntotals: wall=%.3fs comm=%.3fs comp=%.3fs\n", res.TotalWall, res.TotalComm, res.TotalCompute)
+	fmt.Printf("\ntotals: wall=%.3fs comm=%.3fs comp=%.3fs elapsed=%.3fs\n",
+		res.TotalWall, res.TotalComm, res.TotalCompute, res.TotalElapsed)
 	fmt.Printf("per-iteration wall:                     %s\n", res.WallSummary())
 	fmt.Printf("recovery threshold (avg workers heard): %.2f\n", res.AvgWorkersHeard)
 	fmt.Printf("communication load (avg units):         %.2f\n", res.AvgUnits)

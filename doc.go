@@ -37,6 +37,20 @@
 //	res, err := job.Run()
 //	fmt.Println(res.AvgWorkersHeard, res.TotalWall)
 //
+// # Architecture: one engine, pluggable transports
+//
+// A single event-driven master engine owns the per-iteration lifecycle
+// (broadcast query, consume arrivals, offer to the decoder, finish early on
+// decodability, advance the optimizer, record stats). The three runtimes —
+// Spec.Runtime "sim" (discrete-event simulated), "live" (one goroutine per
+// worker over channels) and "tcp" (real loopback sockets, gob or compact
+// binary frames) — are thin transports feeding that engine, so recovery
+// thresholds and comm loads are identical across them for the same spec and
+// seed. Spec.Pipelined switches every runtime from barrier iterations to
+// pipelined ones: the next query is broadcast the instant an iteration
+// decodes and workers cancel straggler work in flight;
+// Result.TotalElapsed shows the end-to-end time either way.
+//
 // # Reproducing the paper
 //
 // Every table and figure of the paper regenerates through RunExperiment or

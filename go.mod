@@ -1,0 +1,3 @@
+module bcc
+
+go 1.24

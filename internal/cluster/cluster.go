@@ -57,6 +57,15 @@ type Config struct {
 	// accumulates into its own buffer, so results are bit-for-bit identical
 	// to the serial path.
 	ComputeParallelism int
+	// Pipelined makes the master broadcast iteration k+1's query the moment
+	// iteration k decodes, with workers cancelling stale in-flight work as
+	// soon as the fresher query reaches them — instead of serializing
+	// iterations at the worker (the iteration barrier). On the live
+	// runtimes this shortens real elapsed time when stragglers lag behind
+	// whole iterations; on the sim runtime per-iteration stats are
+	// unchanged by construction (cancel-on-receive means every round starts
+	// with all workers idle) and only Result.TotalElapsed differs.
+	Pipelined bool
 }
 
 func (c *Config) validate() error {
@@ -148,6 +157,15 @@ type Result struct {
 	Iters []IterStats
 	// TotalWall, TotalCompute, TotalComm are sums over iterations.
 	TotalWall, TotalCompute, TotalComm float64
+	// TotalElapsed sums each iteration's full duration, straggler tail
+	// included. On the sim runtime it is modelled: in barrier mode each
+	// round additionally waits for the tail to finish draining, while in
+	// pipelined mode each round ends at its decode instant (so
+	// TotalElapsed == TotalWall). On the live runtimes it is measured
+	// (scaled real seconds per iteration); master work between iterations
+	// — optimizer advance, LossEvery evaluations — is not timed on any
+	// runtime.
+	TotalElapsed float64
 	// AvgWorkersHeard is the empirical recovery threshold (Definition 2).
 	AvgWorkersHeard float64
 	// AvgUnits is the empirical communication load (Definition 3).

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"bcc/internal/coding"
+	"bcc/internal/trace"
+	"bcc/internal/vecmath"
+)
+
+// This file is the unified master engine. The per-iteration lifecycle that
+// the paper's §III-C argument rests on — broadcast the query, consume worker
+// arrivals, offer them to the decoder, finish the moment the gradient is
+// decodable, advance the optimizer, record IterStats — is implemented once
+// here and parameterized by a small Transport interface. The DES simulator
+// (sim.go), the goroutine/channel fabric and the TCP fabric (live.go,
+// tcp.go) are thin transports feeding this engine; new runtimes (async/SSP,
+// multi-host, sharded masters) plug in the same way.
+
+// Transport is the master engine's view of a runtime substrate: something
+// that can announce a query to the workers and hand back the resulting
+// arrivals, one iteration at a time.
+type Transport interface {
+	// Broadcast announces iteration iter's query to every worker and
+	// returns the ArrivalSource for that iteration's worker transmissions.
+	// The query slice is owned by the transport after the call.
+	Broadcast(iter int, query []float64) (ArrivalSource, error)
+	// Shutdown tells the workers the run is over (best effort).
+	Shutdown()
+	// Traits describes the transport's timing semantics.
+	Traits() Traits
+}
+
+// Traits describes a transport's clock to the engine.
+type Traits struct {
+	// Virtual is true when the transport runs on a modelled clock (the DES
+	// simulator): arrivals after the decode point can be drained for free,
+	// which is what makes per-iteration trace recording possible.
+	Virtual bool
+}
+
+// Arrival is one worker transmission as observed by the master.
+type Arrival struct {
+	// Worker is the sender's index.
+	Worker int
+	// Compute is the worker's (virtual) computation time this iteration,
+	// used for the paper's computation-time metric.
+	Compute float64
+	// Units is the communication load of the transmission.
+	Units float64
+	// Msgs are the encoded messages to offer to the decoder.
+	Msgs []coding.Message
+	// Span carries the worker's modelled timeline on virtual transports
+	// (nil on live transports); the engine fills Span.Counted.
+	Span *trace.WorkerSpan
+}
+
+// ArrivalSource yields one iteration's arrivals in the order the master
+// receives them.
+type ArrivalSource interface {
+	// Next blocks for the next arrival. ok=false means every alive worker
+	// has been accounted for this iteration (arrived, died, or had its
+	// transmission dropped); a non-nil error aborts the run (timeout,
+	// broken connection).
+	Next() (arr Arrival, ok bool, err error)
+	// Wall returns the iteration's elapsed time as of the last arrival
+	// returned by Next — virtual seconds on the simulator, scaled real
+	// seconds on the live runtimes.
+	Wall() float64
+	// RoundEnd returns the time at which the iteration is fully over, tail
+	// included: on virtual transports the instant the last arrival
+	// finishes draining, on live transports the current elapsed time.
+	RoundEnd() float64
+	// Finish releases the source's resources (timers); the engine calls it
+	// exactly once, after it stops consuming arrivals.
+	Finish()
+}
+
+// RunTransport validates cfg and drives the full training run over an
+// already-constructed transport. RunSim, RunLive and RunWithFabric all
+// funnel into it; it is exported so future runtimes outside this file can
+// reuse the engine unchanged.
+func RunTransport(cfg *Config, tr Transport) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return runEngine(cfg, tr)
+}
+
+// runEngine is THE master iteration loop. Every runtime's master behaviour
+// — early finish on decodability, stall detection, stats bookkeeping, trace
+// recording, optimizer advance — lives here and only here.
+func runEngine(cfg *Config, tr Transport) (*Result, error) {
+	iters := make([]IterStats, 0, cfg.Iterations)
+	virtual := tr.Traits().Virtual
+	var totalElapsed float64
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		q := cfg.Opt.Query()
+		src, err := tr.Broadcast(iter, vecmath.Clone(q))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: broadcast failed at iteration %d: %w", iter, err)
+		}
+		dec := cfg.Plan.NewDecoder()
+		st := IterStats{Iter: iter, Loss: math.NaN()}
+		// On a virtual clock, draining the post-decode tail is free, so the
+		// trace can show the uncounted stragglers too.
+		tracing := virtual && cfg.Trace != nil
+		var spans []trace.WorkerSpan
+		decoded := false
+		for !decoded || tracing {
+			arr, ok, err := src.Next()
+			if err != nil {
+				src.Finish()
+				return nil, err
+			}
+			if !ok {
+				if !decoded {
+					src.Finish()
+					return nil, fmt.Errorf("%w (iteration %d)", ErrStalled, iter)
+				}
+				break
+			}
+			counted := !decoded
+			if counted {
+				if arr.Compute > st.Compute {
+					st.Compute = arr.Compute
+				}
+				for _, msg := range arr.Msgs {
+					st.Bytes += messageBytes(msg)
+					dec.Offer(msg)
+				}
+				if dec.Decodable() {
+					st.Wall = src.Wall()
+					decoded = true
+				}
+			}
+			if arr.Span != nil {
+				span := *arr.Span
+				span.Counted = counted
+				spans = append(spans, span)
+			}
+		}
+		if cfg.Pipelined {
+			// The next broadcast goes out the moment this iteration
+			// decodes; straggler work in flight is cancelled.
+			totalElapsed += st.Wall
+		} else {
+			totalElapsed += src.RoundEnd()
+		}
+		src.Finish()
+		if tracing {
+			cfg.Trace.Add(trace.Iteration{Iter: iter, DecodeTime: st.Wall, Spans: spans})
+		}
+		st.Comm = st.Wall - st.Compute
+		if err := finishIteration(cfg, dec, &st); err != nil {
+			return nil, err
+		}
+		if cfg.LossEvery > 0 && iter%cfg.LossEvery == 0 {
+			st.Loss = fullLoss(cfg)
+		}
+		iters = append(iters, st)
+	}
+	tr.Shutdown()
+	finalW := vecmath.Clone(cfg.Opt.Iterate())
+	res := summarize(finalW, iters)
+	res.TotalElapsed = totalElapsed
+	return res, nil
+}
+
+func fullLoss(cfg *Config) float64 {
+	rows := make([]int, cfg.Model.NumExamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	return cfg.Model.SubsetLoss(cfg.Opt.Iterate(), rows) / float64(cfg.Model.NumExamples())
+}
+
+// drawDrops draws one iteration's lost transmissions: one Bernoulli draw per
+// alive worker in index order. Every transport consumes the dropper stream
+// through this helper, so for a given DropSeed the fault pattern is
+// identical across the sim, live and tcp runtimes.
+func drawDrops(d *dropper, dead map[int]bool, n int) map[int]bool {
+	if d == nil {
+		return nil
+	}
+	lost := make(map[int]bool)
+	for w := 0; w < n; w++ {
+		if dead[w] {
+			continue
+		}
+		if d.drop() {
+			lost[w] = true
+		}
+	}
+	return lost
+}

@@ -1,15 +1,22 @@
 // Package cluster is the distributed execution fabric the experiments run
-// on: a master/worker protocol with pluggable schemes (internal/coding),
-// pluggable latency models (this file), and three interchangeable runtimes —
-// a discrete-event simulator (sim.go), in-process goroutine workers over
-// channels (live.go), and goroutine or out-of-process workers over real TCP
-// sockets (tcp.go).
+// on. One event-driven master engine (engine.go) owns the per-iteration
+// lifecycle — broadcast the query, consume worker arrivals, offer them to
+// the decoder, finish the moment the gradient is decodable, advance the
+// optimizer, record stats — and is parameterized by a small Transport /
+// ArrivalSource interface. Three transports feed it: a discrete-event
+// simulator (sim.go), in-process goroutine workers over channels (live.go),
+// and goroutine or out-of-process workers over real TCP sockets (tcp.go),
+// with pluggable schemes (internal/coding) and pluggable latency models
+// (this file) shared by all of them. Config.Pipelined switches every
+// runtime from barrier iterations to pipelined ones: the next query goes
+// out the instant an iteration decodes, and workers cancel straggler work
+// in flight.
 //
-// It substitutes for the paper's EC2 cluster: the measured quantities
-// (recovery threshold, communication/computation time split, total runtime)
-// depend only on the order statistics of worker finish times and on message
-// counts, which the latency models reproduce using the paper's own
-// shift-exponential straggler model (§IV eq. 15).
+// The fabric substitutes for the paper's EC2 cluster: the measured
+// quantities (recovery threshold, communication/computation time split,
+// total runtime) depend only on the order statistics of worker finish times
+// and on message counts, which the latency models reproduce using the
+// paper's own shift-exponential straggler model (§IV eq. 15).
 package cluster
 
 import (

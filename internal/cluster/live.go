@@ -2,12 +2,18 @@ package cluster
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"bcc/internal/coding"
-	"bcc/internal/vecmath"
 )
+
+// The live runtimes execute the run with real concurrent workers — one
+// goroutine per worker — exchanging messages over in-process channels or
+// loopback TCP sockets. Latency draws are injected as scaled sleeps, so the
+// realized arrival order matches the latency model while the gradients are
+// computed for real. Both fabrics are adapted to the master engine
+// (engine.go) by the single liveTransport below; the master iteration logic
+// itself lives in the engine, not here.
 
 // ModelUpdate is the master-to-worker broadcast for one iteration. Iter < 0
 // signals shutdown.
@@ -50,7 +56,9 @@ func (o *LiveOptions) defaults() {
 	}
 }
 
-// fabric is the master's view of the communication substrate.
+// fabric is the communication substrate under the live transport: the pipes
+// to the workers, nothing more. The master-side iteration semantics live in
+// the engine; the timing/fault bookkeeping lives in liveTransport.
 type fabric interface {
 	Broadcast(mu ModelUpdate) error
 	Replies() <-chan Reply
@@ -59,10 +67,8 @@ type fabric interface {
 	Close() error
 }
 
-// RunLive executes the training run with real concurrent workers — one
-// goroutine per worker — exchanging messages over channels or loopback TCP.
-// Latency draws are injected as scaled sleeps, so the realized arrival order
-// matches the latency model while the gradients are computed for real.
+// RunLive executes the training run with real concurrent workers over
+// channels (default) or loopback TCP (opts.TCP).
 func RunLive(cfg *Config, opts LiveOptions) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -79,80 +85,104 @@ func RunLive(cfg *Config, opts LiveOptions) (*Result, error) {
 		return nil, err
 	}
 	defer fab.Close()
-	return runMaster(cfg, fab, opts)
+	return runEngine(cfg, newLiveTransport(cfg, fab, opts))
 }
 
-// runMaster drives the iteration loop against any fabric.
-func runMaster(cfg *Config, fab fabric, opts LiveOptions) (*Result, error) {
-	iters := make([]IterStats, 0, cfg.Iterations)
-	alive := fab.AliveWorkers()
-	drops := cfg.newDropper()
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		q := cfg.Opt.Query()
-		if err := fab.Broadcast(ModelUpdate{Iter: iter, Query: vecmath.Clone(q)}); err != nil {
-			return nil, fmt.Errorf("cluster: broadcast failed at iteration %d: %w", iter, err)
-		}
-		start := time.Now()
-		dec := cfg.Plan.NewDecoder()
-		st := IterStats{Iter: iter, Loss: math.NaN()}
-		replies := 0
-		deadline := time.NewTimer(opts.Timeout)
-		for !dec.Decodable() {
-			select {
-			case rep := <-fab.Replies():
-				if rep.Iter != iter {
-					continue // stale reply from a straggler's previous round
-				}
-				replies++
-				if drops.drop() {
-					// Transmission lost; the reply still counts toward the
-					// stall check (the worker will not retransmit).
-					if !dec.Decodable() && replies >= alive {
-						deadline.Stop()
-						return nil, fmt.Errorf("%w (iteration %d)", ErrStalled, iter)
-					}
-					continue
-				}
-				if rep.Compute > st.Compute {
-					st.Compute = rep.Compute
-				}
-				if cfg.IngressPerUnit > 0 {
-					var units float64
-					for _, msg := range rep.Msgs {
-						units += msg.Units
-					}
-					// The master's NIC drains this message before the next
-					// can be taken — same bottleneck the sim models.
-					sleepVirtual(cfg.IngressPerUnit*units, opts.TimeScale)
-				}
-				for _, msg := range rep.Msgs {
-					st.Bytes += messageBytes(msg)
-					dec.Offer(msg)
-				}
-				if !dec.Decodable() && replies >= alive {
-					deadline.Stop()
-					return nil, fmt.Errorf("%w (iteration %d)", ErrStalled, iter)
-				}
-			case <-deadline.C:
-				return nil, fmt.Errorf("cluster: iteration %d timed out after %v (%d/%d replies)",
-					iter, opts.Timeout, replies, alive)
-			}
-		}
-		deadline.Stop()
-		st.Wall = time.Since(start).Seconds() / opts.TimeScale
-		st.Comm = st.Wall - st.Compute
-		if err := finishIteration(cfg, dec, &st); err != nil {
-			return nil, err
-		}
-		if cfg.LossEvery > 0 && iter%cfg.LossEvery == 0 {
-			st.Loss = fullLoss(cfg)
-		}
-		iters = append(iters, st)
-	}
-	_ = fab.Broadcast(ModelUpdate{Iter: -1})
-	finalW := vecmath.Clone(cfg.Opt.Iterate())
-	return summarize(finalW, iters), nil
+// ---------------------------------------------------------------------------
+// Live transport: adapts any fabric to the master engine
+// ---------------------------------------------------------------------------
+
+type liveTransport struct {
+	cfg   *Config
+	fab   fabric
+	opts  LiveOptions
+	dead  map[int]bool
+	drops *dropper
+	n     int
 }
+
+func newLiveTransport(cfg *Config, fab fabric, opts LiveOptions) *liveTransport {
+	opts.defaults()
+	_, n, _ := cfg.Plan.Params()
+	return &liveTransport{
+		cfg:   cfg,
+		fab:   fab,
+		opts:  opts,
+		dead:  cfg.deadSet(),
+		drops: cfg.newDropper(),
+		n:     n,
+	}
+}
+
+func (t *liveTransport) Traits() Traits { return Traits{} }
+
+func (t *liveTransport) Shutdown() { _ = t.fab.Broadcast(ModelUpdate{Iter: -1}) }
+
+func (t *liveTransport) Broadcast(iter int, query []float64) (ArrivalSource, error) {
+	lost := drawDrops(t.drops, t.dead, t.n)
+	if err := t.fab.Broadcast(ModelUpdate{Iter: iter, Query: query}); err != nil {
+		return nil, err
+	}
+	return &liveSource{
+		t:        t,
+		iter:     iter,
+		lost:     lost,
+		start:    time.Now(),
+		deadline: time.NewTimer(t.opts.Timeout),
+	}, nil
+}
+
+type liveSource struct {
+	t        *liveTransport
+	iter     int
+	lost     map[int]bool
+	start    time.Time
+	deadline *time.Timer
+	replies  int
+}
+
+func (s *liveSource) Next() (Arrival, bool, error) {
+	for {
+		if s.replies >= s.t.fab.AliveWorkers() {
+			// Every alive worker has reported (some possibly dropped).
+			return Arrival{}, false, nil
+		}
+		select {
+		case rep := <-s.t.fab.Replies():
+			if rep.Iter != s.iter {
+				continue // stale reply from a straggler's previous round
+			}
+			s.replies++
+			if s.lost[rep.Worker] {
+				// Transmission lost in the network; the worker will not
+				// retransmit, but its reply still counts toward the stall
+				// check above.
+				continue
+			}
+			var units float64
+			for _, msg := range rep.Msgs {
+				units += msg.Units
+			}
+			if s.t.cfg.IngressPerUnit > 0 {
+				// The master's NIC drains this message before the next can
+				// be taken — same bottleneck the sim transport models.
+				sleepVirtual(s.t.cfg.IngressPerUnit*units, s.t.opts.TimeScale)
+			}
+			return Arrival{Worker: rep.Worker, Compute: rep.Compute, Units: units, Msgs: rep.Msgs}, true, nil
+		case <-s.deadline.C:
+			return Arrival{}, false, fmt.Errorf("cluster: iteration %d timed out after %v (%d/%d replies)",
+				s.iter, s.t.opts.Timeout, s.replies, s.t.fab.AliveWorkers())
+		}
+	}
+}
+
+func (s *liveSource) elapsed() float64 {
+	return time.Since(s.start).Seconds() / s.t.opts.TimeScale
+}
+
+func (s *liveSource) Wall() float64     { return s.elapsed() }
+func (s *liveSource) RoundEnd() float64 { return s.elapsed() }
+func (s *liveSource) Finish()           { s.deadline.Stop() }
 
 // ---------------------------------------------------------------------------
 // Worker node logic (shared by the channel and TCP runtimes, and by the
@@ -176,15 +206,20 @@ type WorkerEnv struct {
 	// ComputeParallelism fans the per-example gradient computations out
 	// over this many goroutines (0/1 = serial).
 	ComputeParallelism int
+	// Pipelined makes the worker cancel stale in-flight work the moment a
+	// fresher model update arrives, instead of finishing the old iteration
+	// first; must match the master's Config.Pipelined.
+	Pipelined bool
 }
 
 // RunWorker executes the worker protocol until a shutdown update (Iter < 0)
-// or recv failure: receive the freshest model, sleep the drawn broadcast +
-// compute latency, compute the real partial gradients, encode, sleep the
-// upload latency, reply. recv should block for the next update and report
-// ok=false on channel/connection close; drain, if non-nil, performs a
-// non-blocking fetch so a lagging worker can skip stale models.
-func RunWorker(env WorkerEnv, recv func() (ModelUpdate, bool), drain func() (ModelUpdate, bool), send func(Reply) error) error {
+// or the updates channel closes: take the freshest pending model, sleep the
+// drawn broadcast + compute latency, compute the real partial gradients,
+// encode, sleep the upload latency, reply. In pipelined mode the latency
+// sleeps are preemptible — a fresher update aborts the stale iteration
+// immediately; otherwise the worker serializes iterations (the barrier
+// behaviour) and merely skips stale queued models between them.
+func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error) error {
 	assign := env.Plan.Assignments()[env.Index]
 	points := 0
 	for _, u := range assign {
@@ -194,38 +229,81 @@ func RunWorker(env WorkerEnv, recv func() (ModelUpdate, bool), drain func() (Mod
 	if scale <= 0 {
 		scale = 1e-3
 	}
+	var mu ModelUpdate
+	havePending := false
 	for {
-		mu, ok := recv()
-		if !ok || mu.Iter < 0 {
-			return nil
+		if !havePending {
+			var ok bool
+			mu, ok = <-updates
+			if !ok {
+				return nil
+			}
 		}
+		havePending = false
 		// Skip to the most recent pending update (we lagged behind).
-		if drain != nil {
-			for {
-				next, got := drain()
-				if !got {
-					break
-				}
-				if next.Iter < 0 {
+	drain:
+		for {
+			select {
+			case next, ok := <-updates:
+				if !ok {
 					return nil
 				}
 				mu = next
+			default:
+				break drain
 			}
 		}
+		if mu.Iter < 0 {
+			return nil
+		}
 		iter := mu.Iter
-		sleepVirtual(env.Latency.Broadcast(env.Index, iter), scale)
+		if next, preempted := sleepOrPreempt(env.Latency.Broadcast(env.Index, iter), scale, updates, env.Pipelined); preempted {
+			mu, havePending = next, true
+			continue
+		}
 		comp := env.Latency.Compute(env.Index, iter, points)
 		parts := gradientParts(env.Model, env.Units, assign, mu.Query, env.ComputeParallelism)
-		sleepVirtual(comp, scale)
+		if next, preempted := sleepOrPreempt(comp, scale, updates, env.Pipelined); preempted {
+			mu, havePending = next, true
+			continue
+		}
 		msgs := env.Plan.Encode(env.Index, parts)
 		var units float64
 		for _, m := range msgs {
 			units += m.Units
 		}
-		sleepVirtual(env.Latency.Upload(env.Index, iter, units), scale)
+		if next, preempted := sleepOrPreempt(env.Latency.Upload(env.Index, iter, units), scale, updates, env.Pipelined); preempted {
+			mu, havePending = next, true
+			continue
+		}
 		if err := send(Reply{Iter: iter, Worker: env.Index, Compute: comp, Msgs: msgs}); err != nil {
 			return err
 		}
+	}
+}
+
+// sleepOrPreempt sleeps the scaled virtual duration. When preemptible, a
+// model update arriving mid-sleep cuts it short and is handed back to the
+// caller; a closed channel is reported as a shutdown update.
+func sleepOrPreempt(virtualSeconds, scale float64, updates <-chan ModelUpdate, preemptible bool) (ModelUpdate, bool) {
+	if virtualSeconds <= 0 {
+		return ModelUpdate{}, false
+	}
+	d := time.Duration(virtualSeconds * scale * float64(time.Second))
+	if !preemptible {
+		time.Sleep(d)
+		return ModelUpdate{}, false
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case mu, ok := <-updates:
+		if !ok {
+			return ModelUpdate{Iter: -1}, true
+		}
+		return mu, true
+	case <-timer.C:
+		return ModelUpdate{}, false
 	}
 }
 
@@ -269,25 +347,14 @@ func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			Latency:            cfg.latency(),
 			TimeScale:          opts.TimeScale,
 			ComputeParallelism: cfg.ComputeParallelism,
+			Pipelined:          cfg.Pipelined,
 		}
 		go func() {
-			recv := func() (ModelUpdate, bool) {
-				mu, ok := <-inbox
-				return mu, ok
-			}
-			drain := func() (ModelUpdate, bool) {
-				select {
-				case mu, ok := <-inbox:
-					return mu, ok
-				default:
-					return ModelUpdate{}, false
-				}
-			}
 			send := func(r Reply) error {
 				f.replies <- r
 				return nil
 			}
-			_ = RunWorker(env, recv, drain, send)
+			_ = RunWorker(env, inbox, send)
 		}()
 	}
 	return f, nil

@@ -1,148 +1,159 @@
 package cluster
 
 import (
-	"fmt"
-	"math"
-
 	"bcc/internal/coding"
 	"bcc/internal/des"
 	"bcc/internal/trace"
 )
 
-// RunSim executes the training run on the discrete-event simulator: worker
-// latencies are drawn from cfg.Latency, message arrivals become events on a
-// virtual clock, and the master advances the optimizer the moment the
-// decoder reports decodability — exactly the semantics of the live runtime,
-// but deterministic and orders of magnitude faster. This is the runtime the
-// experiment harness uses to regenerate the paper's figures.
+// The sim transport runs the master/worker timing model on the discrete-
+// event simulator: worker latencies are drawn from cfg.Latency, message
+// arrivals become events on a virtual clock, and the engine advances the
+// optimizer the moment the decoder reports decodability — exactly the
+// semantics of the live transports, but deterministic and orders of
+// magnitude faster. This is the transport the experiment harness uses to
+// regenerate the paper's figures.
+//
+// Pipelined mode needs no special handling here: cancelling stale work the
+// instant the next broadcast reaches a worker means every round starts with
+// all workers idle, which is precisely what simulating each iteration as an
+// isolated round already models. Per-iteration stats therefore coincide by
+// construction; only Result.TotalElapsed differs (barrier rounds also wait
+// for the straggler tail to finish draining).
+
+// RunSim executes the training run on the discrete-event simulator.
 func RunSim(cfg *Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	lat := cfg.latency()
-	dead := cfg.deadSet()
-	drops := cfg.newDropper()
+	return runEngine(cfg, newSimTransport(cfg))
+}
+
+type simTransport struct {
+	cfg    *Config
+	lat    Latency
+	dead   map[int]bool
+	drops  *dropper
+	points []int
+	n      int
+}
+
+func newSimTransport(cfg *Config) *simTransport {
 	_, n, _ := cfg.Plan.Params()
-	points := workerPoints(cfg.Plan, cfg.Units)
-
-	iters := make([]IterStats, 0, cfg.Iterations)
-
-	type arrival struct {
-		at      float64
-		worker  int
-		bcast   float64
-		compute float64
-		units   float64
-		msgs    []coding.Message
+	return &simTransport{
+		cfg:    cfg,
+		lat:    cfg.latency(),
+		dead:   cfg.deadSet(),
+		drops:  cfg.newDropper(),
+		points: workerPoints(cfg.Plan, cfg.Units),
+		n:      n,
 	}
-
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		q := cfg.Opt.Query()
-		dec := cfg.Plan.NewDecoder()
-		st := IterStats{Iter: iter, Loss: math.NaN()}
-
-		// Phase 1: simulate every alive worker's pipeline on the virtual
-		// clock. The DES fires arrivals in time order, so `arrivals` comes
-		// out sorted.
-		var sched des.Scheduler
-		arrivals := make([]arrival, 0, n)
-		for w := 0; w < n; w++ {
-			if dead[w] {
-				continue
-			}
-			if drops.drop() {
-				continue // transmission lost in the network this iteration
-			}
-			bcast := lat.Broadcast(w, iter)
-			comp := lat.Compute(w, iter, points[w])
-			parts := computeParts(cfg, w, q)
-			msgs := cfg.Plan.Encode(w, parts)
-			if len(msgs) == 0 {
-				continue // worker holds no data (uncoded with n > m)
-			}
-			var units float64
-			for _, msg := range msgs {
-				units += msg.Units
-			}
-			up := lat.Upload(w, iter, units)
-			arr := arrival{worker: w, bcast: bcast, compute: comp, units: units, msgs: msgs}
-			sched.After(bcast+comp+up, func() {
-				arr.at = sched.Now()
-				arrivals = append(arrivals, arr)
-			})
-		}
-		sched.Run()
-
-		// Phase 2: drain the master's receive queue in arrival order. With
-		// a positive ingress cost the master is busy IngressPerUnit seconds
-		// per unit, so messages queue behind each other; with zero cost the
-		// drain is instantaneous at the arrival time.
-		var wall float64
-		var freeAt float64
-		decoded := false
-		var spans []trace.WorkerSpan
-		for _, arr := range arrivals {
-			start := arr.at
-			if start < freeAt {
-				start = freeAt
-			}
-			done := start + cfg.IngressPerUnit*arr.units
-			freeAt = done
-			counted := !decoded
-			if counted {
-				if arr.compute > st.Compute {
-					st.Compute = arr.compute
-				}
-				for _, msg := range arr.msgs {
-					st.Bytes += messageBytes(msg)
-					dec.Offer(msg)
-				}
-				if dec.Decodable() {
-					wall = done
-					decoded = true
-				}
-			}
-			if cfg.Trace != nil {
-				spans = append(spans, trace.WorkerSpan{
-					Worker:     arr.worker,
-					BcastEnd:   arr.bcast,
-					ComputeEnd: arr.bcast + arr.compute,
-					Arrive:     arr.at,
-					DrainStart: start,
-					DrainEnd:   done,
-					Counted:    counted,
-					Units:      arr.units,
-				})
-				continue
-			}
-			if decoded {
-				break
-			}
-		}
-		if !decoded {
-			return nil, fmt.Errorf("%w (iteration %d, %d arrivals)", ErrStalled, iter, len(arrivals))
-		}
-		if cfg.Trace != nil {
-			cfg.Trace.Add(trace.Iteration{Iter: iter, DecodeTime: wall, Spans: spans})
-		}
-		st.Wall = wall
-		st.Comm = st.Wall - st.Compute
-		if err := finishIteration(cfg, dec, &st); err != nil {
-			return nil, err
-		}
-		if cfg.LossEvery > 0 && iter%cfg.LossEvery == 0 {
-			st.Loss = fullLoss(cfg)
-		}
-		iters = append(iters, st)
-	}
-	finalW := append([]float64(nil), cfg.Opt.Iterate()...)
-	return summarize(finalW, iters), nil
 }
 
-func fullLoss(cfg *Config) float64 {
-	rows := make([]int, cfg.Model.NumExamples())
-	for i := range rows {
-		rows[i] = i
-	}
-	return cfg.Model.SubsetLoss(cfg.Opt.Iterate(), rows) / float64(cfg.Model.NumExamples())
+func (t *simTransport) Traits() Traits { return Traits{Virtual: true} }
+func (t *simTransport) Shutdown()      {}
+
+// simArrival is one worker transmission with its modelled timeline.
+type simArrival struct {
+	at      float64 // when the upload reached the master
+	worker  int
+	bcast   float64
+	compute float64
+	units   float64
+	msgs    []coding.Message
+	// drain bracket: the master's ingress occupancy for this transmission.
+	drainStart, drainEnd float64
 }
+
+// Broadcast simulates the whole iteration's worker pipelines up front: the
+// DES fires arrivals in time order (ties broken by worker index), then the
+// master's receive queue is drained in arrival order — with a positive
+// ingress cost the master is busy IngressPerUnit seconds per unit, so
+// messages queue behind each other; with zero cost the drain is
+// instantaneous at the arrival time.
+func (t *simTransport) Broadcast(iter int, query []float64) (ArrivalSource, error) {
+	lost := drawDrops(t.drops, t.dead, t.n)
+	var sched des.Scheduler
+	arrivals := make([]simArrival, 0, t.n)
+	for w := 0; w < t.n; w++ {
+		if t.dead[w] {
+			continue
+		}
+		if lost[w] {
+			continue // transmission lost in the network this iteration
+		}
+		bcast := t.lat.Broadcast(w, iter)
+		comp := t.lat.Compute(w, iter, t.points[w])
+		parts := computeParts(t.cfg, w, query)
+		msgs := t.cfg.Plan.Encode(w, parts)
+		if len(msgs) == 0 {
+			continue // worker holds no data (uncoded with n > m)
+		}
+		var units float64
+		for _, msg := range msgs {
+			units += msg.Units
+		}
+		up := t.lat.Upload(w, iter, units)
+		arr := simArrival{worker: w, bcast: bcast, compute: comp, units: units, msgs: msgs}
+		sched.After(bcast+comp+up, func() {
+			arr.at = sched.Now()
+			arrivals = append(arrivals, arr)
+		})
+	}
+	sched.Run()
+
+	var freeAt float64
+	for i := range arrivals {
+		start := arrivals[i].at
+		if start < freeAt {
+			start = freeAt
+		}
+		done := start + t.cfg.IngressPerUnit*arrivals[i].units
+		freeAt = done
+		arrivals[i].drainStart = start
+		arrivals[i].drainEnd = done
+	}
+	return &simSource{t: t, arrivals: arrivals}, nil
+}
+
+type simSource struct {
+	t        *simTransport
+	arrivals []simArrival
+	next     int
+	wall     float64
+}
+
+func (s *simSource) Next() (Arrival, bool, error) {
+	if s.next >= len(s.arrivals) {
+		return Arrival{}, false, nil
+	}
+	sa := s.arrivals[s.next]
+	s.next++
+	s.wall = sa.drainEnd
+	arr := Arrival{Worker: sa.worker, Compute: sa.compute, Units: sa.units, Msgs: sa.msgs}
+	if s.t.cfg.Trace != nil {
+		arr.Span = &trace.WorkerSpan{
+			Worker:     sa.worker,
+			BcastEnd:   sa.bcast,
+			ComputeEnd: sa.bcast + sa.compute,
+			Arrive:     sa.at,
+			DrainStart: sa.drainStart,
+			DrainEnd:   sa.drainEnd,
+			Units:      sa.units,
+		}
+	}
+	return arr, true, nil
+}
+
+func (s *simSource) Wall() float64 { return s.wall }
+
+// RoundEnd is when the last transmission finishes draining — the instant
+// the master's barrier would release in non-pipelined mode.
+func (s *simSource) RoundEnd() float64 {
+	if len(s.arrivals) == 0 {
+		return 0
+	}
+	return s.arrivals[len(s.arrivals)-1].drainEnd
+}
+
+func (s *simSource) Finish() {}

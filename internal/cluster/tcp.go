@@ -56,6 +56,7 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			TimeScale:          opts.TimeScale,
 			Codec:              opts.Codec,
 			ComputeParallelism: cfg.ComputeParallelism,
+			Pipelined:          cfg.Pipelined,
 		}
 		go func() { _ = DialAndServeWorker(addr, env) }()
 	}
@@ -156,17 +157,34 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 	if err := codec.WriteHello(Hello{Worker: env.Index}); err != nil {
 		return fmt.Errorf("cluster: worker %d hello: %w", env.Index, err)
 	}
-	recv := func() (ModelUpdate, bool) {
-		mu, err := codec.ReadModel()
-		if err != nil {
-			return ModelUpdate{}, false
+	// A dedicated reader streams model updates into a channel so the worker
+	// loop can observe fresh broadcasts mid-sleep (pipelined cancellation).
+	// The codec's read and write halves are independent, so the reader
+	// goroutine and the reply writes below do not race. done keeps the
+	// reader from leaking on a full buffer if RunWorker exits on a send
+	// error.
+	updates := make(chan ModelUpdate, 16)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(updates)
+		for {
+			mu, err := codec.ReadModel()
+			if err != nil {
+				return
+			}
+			select {
+			case updates <- mu:
+			case <-done:
+				return
+			}
+			if mu.Iter < 0 {
+				return
+			}
 		}
-		return mu, true
-	}
+	}()
 	send := func(r Reply) error { return codec.WriteReply(r) }
-	// TCP delivers in order; stale replies are discarded by the master, so
-	// no drain hook is needed here.
-	return RunWorker(env, recv, nil, send)
+	return RunWorker(env, updates, send)
 }
 
 // ServeMaster accepts `alive` worker connections on ln and returns a fabric
@@ -182,12 +200,11 @@ func ServeMaster(ln net.Listener, alive int, timeout time.Duration, codecName st
 // RunWithFabric.
 type Fabric = fabric
 
-// RunWithFabric drives the master iteration loop over an already-connected
-// fabric. The caller retains ownership of the fabric and must Close it.
+// RunWithFabric drives the master engine over an already-connected fabric.
+// The caller retains ownership of the fabric and must Close it.
 func RunWithFabric(cfg *Config, fab Fabric, opts LiveOptions) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	opts.defaults()
-	return runMaster(cfg, fab, opts)
+	return runEngine(cfg, newLiveTransport(cfg, fab, opts))
 }

@@ -63,8 +63,13 @@ type Spec struct {
 	// Dead workers never respond.
 	Dead []int
 	// Runtime is "sim" (default), "live" (goroutines+channels) or "tcp"
-	// (goroutines over loopback sockets).
+	// (goroutines over loopback sockets). All three run the same master
+	// engine over different transports.
 	Runtime string
+	// Pipelined broadcasts iteration k+1 the moment iteration k decodes and
+	// cancels straggler work in flight, instead of serializing iterations
+	// at the workers (see cluster.Config.Pipelined).
+	Pipelined bool
 	// TimeScale converts virtual seconds to real sleeps on live runtimes.
 	TimeScale float64
 	// LossEvery records full training loss every k iterations (0 = never).
@@ -182,6 +187,7 @@ func (j *Job) Run() (*cluster.Result, error) {
 		Dead:           j.Spec.Dead,
 		LossEvery:      j.Spec.LossEvery,
 		Trace:          j.Spec.Trace,
+		Pipelined:      j.Spec.Pipelined,
 	}
 	switch j.Spec.Runtime {
 	case "sim":

@@ -40,8 +40,9 @@ type Iteration struct {
 }
 
 // Recorder accumulates iterations. The zero value is ready to use. It is
-// filled by cluster.RunSim when Config.Trace is set; the live runtimes do
-// not trace (their timing is wall-clock, not modelled).
+// filled by the master engine when Config.Trace is set and the transport
+// runs on a virtual clock (the sim runtime); the live runtimes do not
+// trace (their timing is wall-clock, not modelled).
 type Recorder struct {
 	Iterations []Iteration
 }
