@@ -1,6 +1,7 @@
 package bcc
 
 import (
+	"context"
 	"io"
 
 	"bcc/internal/cluster"
@@ -18,14 +19,17 @@ import (
 // ---------------------------------------------------------------------------
 
 // Spec describes a distributed training job; see core.Spec for the full
-// field documentation. Zero values select sensible defaults (scheme "bcc",
-// Nesterov optimizer, the "sim" runtime). All runtimes ("sim", "live",
-// "tcp") drive the same master engine over different transports; set
-// Pipelined to broadcast the next query the moment an iteration decodes,
-// cancelling straggler work in flight.
+// field documentation. Zero values select sensible defaults (SchemeBCC,
+// Nesterov optimizer, the sim runtime). All runtimes drive the same master
+// engine over different transports; set Pipelined to broadcast the next
+// query the moment an iteration decodes, cancelling straggler work in
+// flight. The run-lifecycle fields — Observer, StopWhen, GradNormTol,
+// CheckpointEvery/CheckpointPath, DropProb/DropSeed, ComputeParallelism —
+// are honoured identically on every runtime.
 type Spec = core.Spec
 
-// Job is a materialized training run; create with NewJob, execute with Run.
+// Job is a materialized training run; create with NewJob, execute with Run
+// or RunContext (cancellable, deadline-bounded).
 type Job = core.Job
 
 // Result aggregates a run: final weights, per-iteration stats, timing
@@ -44,25 +48,104 @@ type IterStats = cluster.IterStats
 var ErrStalled = cluster.ErrStalled
 
 // NewJob generates the synthetic dataset of the paper's §III-C and
-// materializes a training job for the given spec.
+// materializes a training job for the given spec. Misconfigured options —
+// unknown Scheme/Optimizer/Runtime, out-of-range DropProb — fail here with
+// an *OptionError instead of deep inside the run.
 func NewJob(spec Spec) (*Job, error) { return core.NewJob(spec) }
 
 // Train is the one-call convenience: build the job and run it.
-func Train(spec Spec) (*Result, error) {
+func Train(spec Spec) (*Result, error) { return TrainContext(context.Background(), spec) }
+
+// TrainContext is Train bounded by a context: cancellation or deadline
+// expiry ends the run early and returns the partial Result of the
+// iterations already completed alongside ctx's error.
+func TrainContext(ctx context.Context, spec Spec) (*Result, error) {
 	job, err := core.NewJob(spec)
 	if err != nil {
 		return nil, err
 	}
-	return job.Run()
+	return job.RunContext(ctx)
 }
+
+// ---------------------------------------------------------------------------
+// Run lifecycle: typed options, observers, early stopping
+// ---------------------------------------------------------------------------
+
+// Scheme, Optimizer and Runtime are typed option values for the Spec.
+// Untyped string constants still assign directly (Spec{Scheme: "bcc"}
+// compiles unchanged); the typed constants below make valid values
+// discoverable and let Validate/NewJob reject misconfiguration with one
+// error shape, *OptionError.
+type (
+	// Scheme names a registered gradient-coding scheme.
+	Scheme = core.Scheme
+	// Optimizer names a registered update rule.
+	Optimizer = core.Optimizer
+	// Runtime names a registered execution substrate.
+	Runtime = core.Runtime
+)
+
+// The registered gradient-coding schemes.
+const (
+	SchemeBCC        = core.SchemeBCC
+	SchemeBCCApprox  = core.SchemeBCCApprox
+	SchemeBCCMulti   = core.SchemeBCCMulti
+	SchemeCyclicMDS  = core.SchemeCyclicMDS
+	SchemeCyclicRep  = core.SchemeCyclicRep
+	SchemeFractional = core.SchemeFractional
+	SchemeRandomized = core.SchemeRandomized
+	SchemeUncoded    = core.SchemeUncoded
+)
+
+// The registered optimizers.
+const (
+	OptimizerNesterov = core.OptimizerNesterov
+	OptimizerGD       = core.OptimizerGD
+)
+
+// The registered runtimes.
+const (
+	RuntimeSim  = core.RuntimeSim
+	RuntimeLive = core.RuntimeLive
+	RuntimeTCP  = core.RuntimeTCP
+)
+
+// OptionError reports a Spec field holding an invalid value (unknown
+// scheme/optimizer/runtime name, out-of-range knob). Retrieve with
+// errors.As to inspect the field name and the known values.
+type OptionError = core.OptionError
+
+// Optimizers lists the registered optimizer names.
+func Optimizers() []Optimizer { return core.Optimizers() }
+
+// Runtimes lists the registered runtime names.
+func Runtimes() []Runtime { return core.Runtimes() }
+
+// Observer receives lifecycle callbacks — OnDecode at each iteration's
+// decode instant, OnIteration after each completed iteration, OnRunEnd with
+// the final (possibly partial) Result — synchronously from the master
+// engine, identically on every runtime. Set it on Spec.Observer.
+type Observer = cluster.Observer
+
+// ObserverFuncs adapts free functions to Observer; nil fields are no-ops.
+type ObserverFuncs = cluster.ObserverFuncs
+
+// DecodeEvent describes the instant an iteration's gradient became
+// decodable: the paper's "recovery threshold reached" moment.
+type DecodeEvent = cluster.DecodeEvent
+
+// CombineObservers fans callbacks out to several observers in order.
+func CombineObservers(obs ...Observer) Observer { return cluster.MultiObserver(obs...) }
 
 // ---------------------------------------------------------------------------
 // Schemes
 // ---------------------------------------------------------------------------
 
-// Scheme builds gradient-code plans; Plan and Decoder are the placement and
-// per-iteration decoding state (see the coding package docs).
-type Scheme = coding.Scheme
+// SchemeBuilder builds gradient-code plans; Plan and Decoder are the
+// placement and per-iteration decoding state (see the coding package docs).
+// Breaking rename: this interface was previously exported as bcc.Scheme,
+// which now names the typed option value above.
+type SchemeBuilder = coding.Scheme
 
 // Plan is a concrete data placement + code for (m, n, r).
 type Plan = coding.Plan
@@ -79,8 +162,8 @@ type Message = coding.Message
 // uncoded.
 func Schemes() []string { return coding.Names() }
 
-// LookupScheme resolves a scheme by name.
-func LookupScheme(name string) (Scheme, error) { return coding.Lookup(name) }
+// LookupScheme resolves a scheme builder by name.
+func LookupScheme(name string) (SchemeBuilder, error) { return coding.Lookup(name) }
 
 // Parameterizable scheme constructors, for callers who need more than the
 // registry defaults. Build a Plan and install it on a Job (job.Plan = plan)
@@ -186,12 +269,23 @@ func Experiments() []string { return experiments.Names() }
 // RunExperiment regenerates one paper artifact by id, rendering it to w
 // (pass nil to skip rendering) and returning the table.
 func RunExperiment(id string, opt ExperimentOptions, w io.Writer) (*ExperimentTable, error) {
-	return experiments.Run(id, opt, w)
+	return experiments.Run(context.Background(), id, opt, w)
+}
+
+// RunExperimentContext is RunExperiment bounded by a context: cancellation
+// aborts the experiment's training runs.
+func RunExperimentContext(ctx context.Context, id string, opt ExperimentOptions, w io.Writer) (*ExperimentTable, error) {
+	return experiments.Run(ctx, id, opt, w)
 }
 
 // RunAllExperiments regenerates every artifact in order.
 func RunAllExperiments(opt ExperimentOptions, w io.Writer) ([]*ExperimentTable, error) {
-	return experiments.RunAll(opt, w)
+	return experiments.RunAll(context.Background(), opt, w)
+}
+
+// RunAllExperimentsContext is RunAllExperiments bounded by a context.
+func RunAllExperimentsContext(ctx context.Context, opt ExperimentOptions, w io.Writer) ([]*ExperimentTable, error) {
+	return experiments.RunAll(ctx, opt, w)
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,8 @@ package bcc
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -147,7 +149,7 @@ func TestSchemeSpecSwitch(t *testing.T) {
 	// The public API must run every scheme end to end.
 	for _, scheme := range Schemes() {
 		res, err := Train(Spec{
-			Scheme: scheme, Examples: 12, Workers: 12, Load: 3,
+			Scheme: Scheme(scheme), Examples: 12, Workers: 12, Load: 3,
 			DataPoints: 48, Dim: 8, Iterations: 4, Seed: 2,
 		})
 		if err != nil {
@@ -156,5 +158,97 @@ func TestSchemeSpecSwitch(t *testing.T) {
 		if strings.TrimSpace(scheme) == "" || len(res.Iters) != 4 {
 			t.Fatalf("%s: bad result", scheme)
 		}
+	}
+}
+
+func TestObserverSeesEveryIterationPublic(t *testing.T) {
+	// Acceptance: an Observer attached through the public Spec on a sim run
+	// sees exactly Iterations OnIteration callbacks with stats identical to
+	// the returned Result.Iters.
+	const iterations = 9
+	var got []IterStats
+	res, err := Train(Spec{
+		Examples: 10, Workers: 20, Load: 2,
+		DataPoints: 100, Dim: 16,
+		Iterations: iterations, Seed: 3, LossEvery: 1,
+		Observer: ObserverFuncs{Iteration: func(st IterStats) { got = append(got, st) }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != iterations {
+		t.Fatalf("observer saw %d iterations, want %d", len(got), iterations)
+	}
+	for i := range got {
+		if got[i] != res.Iters[i] {
+			t.Fatalf("iteration %d: observer saw %+v, result holds %+v", i, got[i], res.Iters[i])
+		}
+	}
+}
+
+func TestTrainContextCancelPublic(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	count := 0
+	res, err := TrainContext(ctx, Spec{
+		Examples: 10, Workers: 20, Load: 2,
+		DataPoints: 100, Dim: 16, Iterations: 50, Seed: 4,
+		Observer: ObserverFuncs{Iteration: func(IterStats) {
+			count++
+			if count == 2 {
+				cancel()
+			}
+		}},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Iters) != 2 {
+		t.Fatalf("want a 2-iteration partial result, got %+v", res)
+	}
+}
+
+func TestSpecReachesFaultInjection(t *testing.T) {
+	// DropProb/DropSeed are first-class Spec fields: on a lossy network the
+	// master needs extra workers per round to reach coverage, so the
+	// realized recovery threshold must not drop below the clean run's.
+	clean, err := Train(Spec{
+		Examples: 8, Workers: 24, Load: 2,
+		DataPoints: 64, Dim: 8, Iterations: 10, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := Train(Spec{
+		Examples: 8, Workers: 24, Load: 2,
+		DataPoints: 64, Dim: 8, Iterations: 10, Seed: 6,
+		DropProb: 0.4, DropSeed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.AvgWorkersHeard < clean.AvgWorkersHeard {
+		t.Fatalf("dropping 40%% of transmissions should not lower the threshold: %v vs %v",
+			lossy.AvgWorkersHeard, clean.AvgWorkersHeard)
+	}
+	if _, err := Train(Spec{Examples: 8, Workers: 8, DataPoints: 32, Dim: 4, Iterations: 1, Load: 1, DropProb: 2}); err == nil {
+		t.Fatal("out-of-range DropProb accepted")
+	}
+	var oe *OptionError
+	if _, err := NewJob(Spec{Scheme: "bogus", Examples: 4, Workers: 4, DataPoints: 8, Dim: 2, Iterations: 1, Load: 1}); !errors.As(err, &oe) {
+		t.Fatalf("public surface does not expose OptionError: %v", err)
+	}
+}
+
+func TestTypedOptionConstants(t *testing.T) {
+	// The typed constants must round-trip through the registries.
+	for _, s := range []Scheme{SchemeBCC, SchemeBCCApprox, SchemeBCCMulti, SchemeCyclicMDS,
+		SchemeCyclicRep, SchemeFractional, SchemeRandomized, SchemeUncoded} {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(Runtimes()) != 3 || len(Optimizers()) != 2 {
+		t.Fatalf("registries: %v %v", Runtimes(), Optimizers())
 	}
 }

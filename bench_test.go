@@ -8,6 +8,7 @@ package bcc
 // benches keep every experiment exercised and tracked by `go test -bench`.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -37,7 +38,7 @@ func parseCell(b *testing.B, tab *experiments.Table, row, col int) float64 {
 func BenchmarkFig2Tradeoff(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Fig2(benchOptions())
+		tab, err := experiments.Fig2(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func BenchmarkFig2Tradeoff(b *testing.B) {
 func BenchmarkFig4RunningTime(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Fig4(benchOptions())
+		tab, err := experiments.Fig4(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func BenchmarkFig4RunningTime(b *testing.B) {
 func BenchmarkTable1Breakdown(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Table1(benchOptions())
+		tab, err := experiments.Table1(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func BenchmarkTable1Breakdown(b *testing.B) {
 func BenchmarkTable2Breakdown(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Table2(benchOptions())
+		tab, err := experiments.Table2(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func BenchmarkTable2Breakdown(b *testing.B) {
 func BenchmarkFig5Heterogeneous(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Fig5(benchOptions())
+		tab, err := experiments.Fig5(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func BenchmarkFig5Heterogeneous(b *testing.B) {
 func BenchmarkTheorem1Check(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Theorem1(benchOptions())
+		tab, err := experiments.Theorem1(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkTheorem1Check(b *testing.B) {
 func BenchmarkTheorem2Bounds(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Theorem2(benchOptions())
+		tab, err := experiments.Theorem2(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkTheorem2Bounds(b *testing.B) {
 func BenchmarkCommLoad(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.CommLoad(benchOptions())
+		tab, err := experiments.CommLoad(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkCommLoad(b *testing.B) {
 func BenchmarkFractionalRepetition(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Fractional(benchOptions())
+		tab, err := experiments.Fractional(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +163,7 @@ func BenchmarkFractionalRepetition(b *testing.B) {
 func BenchmarkTailBound(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.TailBound(benchOptions())
+		tab, err := experiments.TailBound(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func BenchmarkTailBound(b *testing.B) {
 func BenchmarkMultiBatchAblation(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.MultiBatch(benchOptions())
+		tab, err := experiments.MultiBatch(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func BenchmarkMultiBatchAblation(b *testing.B) {
 func BenchmarkApproxCoverage(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Approx(benchOptions())
+		tab, err := experiments.Approx(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func BenchmarkApproxCoverage(b *testing.B) {
 func BenchmarkSkewRobustness(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Skew(benchOptions())
+		tab, err := experiments.Skew(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func BenchmarkSkewRobustness(b *testing.B) {
 func BenchmarkHeteroTrain(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.HeteroTrain(benchOptions())
+		tab, err := experiments.HeteroTrain(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -229,7 +230,7 @@ func BenchmarkHeteroTrain(b *testing.B) {
 func BenchmarkConvergence(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Convergence(benchOptions())
+		tab, err := experiments.Convergence(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func BenchmarkConvergence(b *testing.B) {
 func BenchmarkScaling(b *testing.B) {
 	var last *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Scaling(benchOptions())
+		tab, err := experiments.Scaling(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -422,27 +423,40 @@ func BenchmarkHeteroAllocate(b *testing.B) {
 // engine/decode/optimizer work.
 func BenchmarkRuntimes(b *testing.B) {
 	const iters = 5
+	// The observed cases attach a counting Observer: the per-iteration hook
+	// must add no measurable overhead to the engine loop (compare the
+	// ns/cluster-iter of "sim" vs "sim-observed").
 	cases := []struct {
 		name      string
-		runtime   string
+		runtime   core.Runtime
 		pipelined bool
+		observed  bool
 	}{
-		{"sim", "sim", false},
-		{"live", "live", false},
-		{"tcp", "tcp", false},
+		{"sim", core.RuntimeSim, false, false},
+		{"sim-observed", core.RuntimeSim, false, true},
+		{"live", core.RuntimeLive, false, false},
+		{"live-observed", core.RuntimeLive, false, true},
+		{"tcp", core.RuntimeTCP, false, false},
 		// Pipelined live exercises the preemptible worker path.
-		{"live-pipelined", "live", true},
+		{"live-pipelined", core.RuntimeLive, true, false},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
+			callbacks := 0
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				job, err := core.NewJob(core.Spec{
+				spec := core.Spec{
 					Examples: 8, Workers: 8, Load: 2,
 					DataPoints: 64, Dim: 64, Iterations: iters,
 					Seed: 11, Runtime: tc.runtime, TimeScale: 1e-9,
 					Pipelined: tc.pipelined,
-				})
+				}
+				if tc.observed {
+					spec.Observer = cluster.ObserverFuncs{
+						Iteration: func(cluster.IterStats) { callbacks++ },
+					}
+				}
+				job, err := core.NewJob(spec)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -450,6 +464,9 @@ func BenchmarkRuntimes(b *testing.B) {
 				if _, err := job.Run(); err != nil {
 					b.Fatal(err)
 				}
+			}
+			if tc.observed && callbacks != b.N*iters {
+				b.Fatalf("observer saw %d iterations, want %d", callbacks, b.N*iters)
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*iters), "ns/cluster-iter")
 		})

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -24,20 +26,28 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id or 'all'")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		trials = flag.Int("trials", 0, "Monte-Carlo trials (0 = per-experiment default)")
-		iters  = flag.Int("iters", 0, "training iterations for fig4/tables (0 = 100, as in the paper)")
-		full   = flag.Bool("full", false, "paper-size data for fig4 (p=8000, 100 points per example)")
-		quick  = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
-		csvDir = flag.String("csv", "", "directory to also write <id>.csv files into")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 0, "Monte-Carlo trials (0 = per-experiment default)")
+		iters   = flag.Int("iters", 0, "training iterations for fig4/tables (0 = 100, as in the paper)")
+		full    = flag.Bool("full", false, "paper-size data for fig4 (p=8000, 100 points per example)")
+		quick   = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
+		timeout = flag.Duration("timeout", 0, "deadline for the whole suite (0 = none); Ctrl-C also aborts cleanly")
+		csvDir  = flag.String("csv", "", "directory to also write <id>.csv files into")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	opt := experiments.Options{
 		Seed:       *seed,
@@ -52,7 +62,7 @@ func main() {
 	}
 	start := time.Now()
 	for _, id := range ids {
-		tab, err := experiments.Run(id, opt, os.Stdout)
+		tab, err := experiments.Run(ctx, id, opt, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bccbench: %v\n", err)
 			os.Exit(1)

@@ -16,10 +16,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"time"
 
 	"bcc/internal/cluster"
@@ -33,19 +36,23 @@ func main() {
 	role := os.Args[1]
 	fs := flag.NewFlagSet(role, flag.ExitOnError)
 	var (
-		addr   = fs.String("addr", "127.0.0.1:9777", "master listen/dial address")
-		scheme = fs.String("scheme", "bcc", "gradient-coding scheme")
-		m      = fs.Int("m", 12, "example units")
-		n      = fs.Int("n", 4, "workers")
-		r      = fs.Int("r", 3, "computational load")
-		iters  = fs.Int("iters", 20, "gradient iterations")
-		points = fs.Int("points", 10, "data points per unit")
-		dim    = fs.Int("dim", 100, "feature dimension")
-		seed   = fs.Uint64("seed", 1, "shared seed (must match across processes)")
-		index  = fs.Int("index", 0, "worker index (worker role only)")
-		wait   = fs.Duration("timeout", 60*time.Second, "per-iteration / accept timeout")
-		codec  = fs.String("codec", "gob", "frame encoding: gob|wire (must match across processes)")
-		pipe   = fs.Bool("pipelined", false, "pipelined iterations: cancel stale in-flight work on a fresher query (must match across processes)")
+		addr     = fs.String("addr", "127.0.0.1:9777", "master listen/dial address")
+		scheme   = fs.String("scheme", "bcc", "gradient-coding scheme")
+		m        = fs.Int("m", 12, "example units")
+		n        = fs.Int("n", 4, "workers")
+		r        = fs.Int("r", 3, "computational load")
+		iters    = fs.Int("iters", 20, "gradient iterations")
+		points   = fs.Int("points", 10, "data points per unit")
+		dim      = fs.Int("dim", 100, "feature dimension")
+		seed     = fs.Uint64("seed", 1, "shared seed (must match across processes)")
+		index    = fs.Int("index", 0, "worker index (worker role only)")
+		wait     = fs.Duration("timeout", 60*time.Second, "per-iteration / accept timeout")
+		codec    = fs.String("codec", "gob", "frame encoding: gob|wire (must match across processes)")
+		pipe     = fs.Bool("pipelined", false, "pipelined iterations: cancel stale in-flight work on a fresher query (must match across processes)")
+		drop     = fs.Float64("drop", 0, "master-side probability in [0,1) of losing each worker transmission")
+		dropSeed = fs.Uint64("drop-seed", 0, "seed for the -drop fault pattern (master role only)")
+		parallel = fs.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
+		progress = fs.Bool("progress", false, "master: print a live per-iteration progress line")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fail(err)
@@ -58,7 +65,7 @@ func main() {
 		Examples:   *m,
 		Workers:    *n,
 		Load:       *r,
-		Scheme:     *scheme,
+		Scheme:     core.Scheme(*scheme),
 		Iterations: *iters,
 		Seed:       *seed,
 	})
@@ -80,16 +87,30 @@ func main() {
 		defer fab.Close()
 		fmt.Println("master: all workers connected, training")
 		cfg := &cluster.Config{
-			Plan:       job.Plan,
-			Model:      job.Model,
-			Units:      job.Units,
-			Opt:        job.Opt,
-			Iterations: *iters,
-			Pipelined:  *pipe,
+			Plan:               job.Plan,
+			Model:              job.Model,
+			Units:              job.Units,
+			Opt:                job.Opt,
+			Iterations:         *iters,
+			Pipelined:          *pipe,
+			DropProb:           *drop,
+			DropSeed:           *dropSeed,
+			ComputeParallelism: *parallel,
 		}
-		res, err := cluster.RunWithFabric(cfg, fab, cluster.LiveOptions{Timeout: *wait, TimeScale: 1})
+		if *progress {
+			cfg.Observer = cluster.ObserverFuncs{Iteration: func(st cluster.IterStats) {
+				fmt.Printf("master: iter %4d  K %-4d |grad| %.4e\n", st.Iter, st.WorkersHeard, st.GradNorm)
+			}}
+		}
+		// Ctrl-C cancels the run and reports the iterations that finished.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopSignals()
+		res, err := cluster.RunWithFabricContext(ctx, cfg, fab, cluster.LiveOptions{Timeout: *wait, TimeScale: 1})
 		if err != nil {
-			fail(err)
+			if res == nil || !errors.Is(err, context.Canceled) {
+				fail(err)
+			}
+			fmt.Printf("master: interrupted after %d iterations\n", len(res.Iters))
 		}
 		fmt.Printf("master: done; avg recovery threshold %.2f, bytes received %d, accuracy %.4f\n",
 			res.AvgWorkersHeard, res.TotalBytes, job.Accuracy(res.FinalW))
@@ -98,14 +119,15 @@ func main() {
 			fail(fmt.Errorf("worker index %d out of range [0,%d)", *index, *n))
 		}
 		env := cluster.WorkerEnv{
-			Index:     *index,
-			Plan:      job.Plan,
-			Model:     job.Model,
-			Units:     job.Units,
-			Latency:   cluster.Zero{},
-			TimeScale: 1,
-			Codec:     *codec,
-			Pipelined: *pipe,
+			Index:              *index,
+			Plan:               job.Plan,
+			Model:              job.Model,
+			Units:              job.Units,
+			Latency:            cluster.Zero{},
+			TimeScale:          1,
+			Codec:              *codec,
+			ComputeParallelism: *parallel,
+			Pipelined:          *pipe,
 		}
 		fmt.Printf("worker %d: dialing %s\n", *index, *addr)
 		if err := cluster.DialAndServeWorker(*addr, env); err != nil {

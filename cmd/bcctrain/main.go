@@ -2,20 +2,32 @@
 // with a chosen gradient-coding scheme, runtime and straggler profile, and
 // prints the paper's metrics (recovery threshold, comm/comp breakdown).
 //
+// The run is context-bounded and observable: -timeout deadline-bounds it,
+// Ctrl-C interrupts it, and both print the partial stats of the iterations
+// that finished; -progress streams a per-iteration line from an Observer
+// hooked into the master engine; -grad-tol stops early once the gradient
+// norm falls below a tolerance; -checkpoint-every auto-checkpoints the
+// optimizer during the run.
+//
 // Examples:
 //
 //	bcctrain -scheme bcc -m 50 -n 50 -r 10 -iters 100 -ec2
-//	bcctrain -scheme cyclicrep -m 20 -n 20 -r 5 -runtime tcp
+//	bcctrain -scheme cyclicrep -m 20 -n 20 -r 5 -runtime tcp -progress
 //	bcctrain -scheme uncoded -m 20 -n 20 -dead 3,7    # watch it stall
+//	bcctrain -ec2 -timeout 5s                         # partial results at the deadline
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"bcc/internal/cluster"
 	"bcc/internal/core"
 	"bcc/internal/experiments"
 	"bcc/internal/rngutil"
@@ -24,41 +36,52 @@ import (
 
 func main() {
 	var (
-		scheme  = flag.String("scheme", "bcc", "gradient code: bcc|uncoded|cyclicrep|cyclicmds|fractional|randomized")
-		m       = flag.Int("m", 50, "number of example units")
-		n       = flag.Int("n", 50, "number of workers")
-		r       = flag.Int("r", 10, "computational load (units per worker)")
-		iters   = flag.Int("iters", 100, "gradient iterations")
-		points  = flag.Int("points", 10, "raw data points per unit")
-		dim     = flag.Int("dim", 800, "feature dimension p")
-		step    = flag.Float64("step", 0.5, "learning rate")
-		optName = flag.String("opt", "nesterov", "optimizer: nesterov|gd")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		runtime = flag.String("runtime", "sim", "runtime: sim|live|tcp")
-		pipe    = flag.Bool("pipelined", false, "broadcast the next query the moment an iteration decodes, cancelling straggler work in flight")
-		ec2     = flag.Bool("ec2", false, "inject the calibrated EC2-like straggler profile")
-		dead    = flag.String("dead", "", "comma-separated worker indices that never respond")
-		lossEv  = flag.Int("loss-every", 10, "record training loss every k iterations (0=never)")
-		doTrace = flag.Bool("trace", false, "print an ASCII Gantt of the first iteration (sim runtime)")
-		ckptOut = flag.String("checkpoint", "", "write optimizer state here after the run")
-		resume  = flag.String("resume", "", "restore optimizer state from this checkpoint before running")
+		scheme   = flag.String("scheme", "bcc", "gradient code: bcc|uncoded|cyclicrep|cyclicmds|fractional|randomized")
+		m        = flag.Int("m", 50, "number of example units")
+		n        = flag.Int("n", 50, "number of workers")
+		r        = flag.Int("r", 10, "computational load (units per worker)")
+		iters    = flag.Int("iters", 100, "gradient iterations")
+		points   = flag.Int("points", 10, "raw data points per unit")
+		dim      = flag.Int("dim", 800, "feature dimension p")
+		step     = flag.Float64("step", 0.5, "learning rate")
+		optName  = flag.String("opt", "nesterov", "optimizer: nesterov|gd")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		runtime  = flag.String("runtime", "sim", "runtime: sim|live|tcp")
+		pipe     = flag.Bool("pipelined", false, "broadcast the next query the moment an iteration decodes, cancelling straggler work in flight")
+		ec2      = flag.Bool("ec2", false, "inject the calibrated EC2-like straggler profile")
+		dead     = flag.String("dead", "", "comma-separated worker indices that never respond")
+		drop     = flag.Float64("drop", 0, "probability in [0,1) of losing each worker transmission")
+		dropSeed = flag.Uint64("drop-seed", 0, "seed for the -drop fault pattern (0 = default)")
+		parallel = flag.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
+		timeout  = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); on expiry partial stats are printed")
+		progress = flag.Bool("progress", false, "print a live per-iteration progress line (iter, workers heard, grad norm)")
+		gradTol  = flag.Float64("grad-tol", 0, "stop early once the gradient norm falls to this tolerance (0 = run all iterations)")
+		lossEv   = flag.Int("loss-every", 10, "record training loss every k iterations (0=never)")
+		doTrace  = flag.Bool("trace", false, "print an ASCII Gantt of the first iteration (sim runtime)")
+		ckptOut  = flag.String("checkpoint", "", "write optimizer state here after the run")
+		ckptEv   = flag.Int("checkpoint-every", 0, "also auto-checkpoint to -checkpoint every k iterations during the run")
+		resume   = flag.String("resume", "", "restore optimizer state from this checkpoint before running")
 	)
 	flag.Parse()
 
 	spec := core.Spec{
-		DataPoints: *m * *points,
-		Dim:        *dim,
-		Examples:   *m,
-		Workers:    *n,
-		Load:       *r,
-		Scheme:     *scheme,
-		Iterations: *iters,
-		StepSize:   *step,
-		Optimizer:  *optName,
-		Seed:       *seed,
-		Runtime:    *runtime,
-		Pipelined:  *pipe,
-		LossEvery:  *lossEv,
+		DataPoints:         *m * *points,
+		Dim:                *dim,
+		Examples:           *m,
+		Workers:            *n,
+		Load:               *r,
+		Scheme:             core.Scheme(*scheme),
+		Iterations:         *iters,
+		StepSize:           *step,
+		Optimizer:          core.Optimizer(*optName),
+		Seed:               *seed,
+		Runtime:            core.Runtime(*runtime),
+		Pipelined:          *pipe,
+		DropProb:           *drop,
+		DropSeed:           *dropSeed,
+		ComputeParallelism: *parallel,
+		GradNormTol:        *gradTol,
+		LossEvery:          *lossEv,
 	}
 	if *ec2 {
 		lat, err := experiments.EC2Latency(*n, *points, rngutil.New(*seed^0xec2))
@@ -76,6 +99,18 @@ func main() {
 			}
 			spec.Dead = append(spec.Dead, idx)
 		}
+	}
+	if *progress {
+		spec.Observer = cluster.ObserverFuncs{Iteration: func(st cluster.IterStats) {
+			fmt.Printf("iter %4d  wall %8.4fs  K %-4d |grad| %.4e\n", st.Iter, st.Wall, st.WorkersHeard, st.GradNorm)
+		}}
+	}
+	if *ckptEv > 0 {
+		if *ckptOut == "" {
+			fail(fmt.Errorf("-checkpoint-every requires -checkpoint"))
+		}
+		spec.CheckpointEvery = *ckptEv
+		spec.CheckpointPath = *ckptOut
 	}
 
 	var rec *trace.Recorder
@@ -104,9 +139,24 @@ func main() {
 	fmt.Printf("plan: worst-case threshold=%d expected threshold=%.2f comm load/worker=%.0f\n",
 		job.Plan.WorstCaseThreshold(), job.Plan.ExpectedThreshold(), job.Plan.CommLoadPerWorker())
 
-	res, err := job.Run()
+	// Ctrl-C cancels the run; -timeout deadline-bounds it. Either way the
+	// partial Result of the finished iterations is printed below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := job.RunContext(ctx)
+	interrupted := false
 	if err != nil {
-		fail(err)
+		if res == nil || !errors.Is(err, ctx.Err()) {
+			fail(err)
+		}
+		interrupted = true
+		fmt.Printf("\nrun interrupted (%v) after %d iterations; partial results:\n", err, len(res.Iters))
 	}
 	fmt.Printf("\n%-6s %-10s %-10s %-8s %-10s\n", "iter", "wall(s)", "K", "units", "loss")
 	for _, it := range res.Iters {
@@ -124,7 +174,7 @@ func main() {
 	fmt.Printf("training accuracy:                      %.4f\n", job.Accuracy(res.FinalW))
 
 	if *ckptOut != "" {
-		if err := job.Checkpoint(*ckptOut, completed+*iters); err != nil {
+		if err := job.Checkpoint(*ckptOut, completed+len(res.Iters)); err != nil {
 			fail(err)
 		}
 		fmt.Printf("checkpoint written to %s\n", *ckptOut)
@@ -136,6 +186,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("\ntimeline of iteration 0 (b=broadcast c=compute u=upload q=queued D=drain |=decode):\n%s", gantt)
+	}
+	if interrupted {
+		os.Exit(1)
 	}
 }
 

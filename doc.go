@@ -42,14 +42,48 @@
 // A single event-driven master engine owns the per-iteration lifecycle
 // (broadcast query, consume arrivals, offer to the decoder, finish early on
 // decodability, advance the optimizer, record stats). The three runtimes —
-// Spec.Runtime "sim" (discrete-event simulated), "live" (one goroutine per
-// worker over channels) and "tcp" (real loopback sockets, gob or compact
-// binary frames) — are thin transports feeding that engine, so recovery
-// thresholds and comm loads are identical across them for the same spec and
-// seed. Spec.Pipelined switches every runtime from barrier iterations to
-// pipelined ones: the next query is broadcast the instant an iteration
-// decodes and workers cancel straggler work in flight;
+// Spec.Runtime RuntimeSim (discrete-event simulated), RuntimeLive (one
+// goroutine per worker over channels) and RuntimeTCP (real loopback
+// sockets, gob or compact binary frames) — are thin transports feeding that
+// engine, so recovery thresholds and comm loads are identical across them
+// for the same spec and seed. Spec.Pipelined switches every runtime from
+// barrier iterations to pipelined ones: the next query is broadcast the
+// instant an iteration decodes and workers cancel straggler work in flight;
 // Result.TotalElapsed shows the end-to-end time either way.
+//
+// # Run lifecycle: contexts, observers, early stopping
+//
+// Because the lifecycle lives in one engine, it is controlled and observed
+// in one place, identically on every runtime:
+//
+//   - Job.RunContext / TrainContext bound a run by a context. Cancellation
+//     or deadline expiry ends the run between arrivals — even while the
+//     live master blocks on a straggler — returning the partial Result of
+//     the completed iterations alongside ctx.Err(); worker goroutines and
+//     TCP listeners are torn down on every exit path. Job.Run and Train
+//     remain the unbounded equivalents.
+//   - Spec.Observer receives synchronous callbacks from the engine loop:
+//     OnDecode at the instant an iteration's gradient becomes decodable
+//     (the recovery-threshold moment), OnIteration after each completed
+//     iteration with the exact IterStats that lands in Result.Iters, and
+//     OnRunEnd with the final (possibly partial) Result. Build observers
+//     from ObserverFuncs and compose them with CombineObservers.
+//   - Spec.StopWhen and Spec.GradNormTol stop a run early — after the first
+//     iteration satisfying the predicate, or once the decoded gradient norm
+//     reaches the tolerance — returning the shorter Result without error.
+//   - Spec.CheckpointEvery plus Spec.CheckpointPath auto-checkpoint the
+//     optimizer during the run (atomic write, see Job.Checkpoint); a
+//     crashed run resumes from the newest checkpoint via
+//     Job.RestoreCheckpoint, bit-for-bit.
+//
+// Scheme, Optimizer and Runtime are typed option values with declared
+// constants (SchemeBCC, OptimizerNesterov, RuntimeSim, ...) validated
+// against their registries at NewJob time; any misconfiguration — unknown
+// names, out-of-range DropProb — fails fast with a single error shape,
+// *OptionError (inspect with errors.As). Plain string literals still
+// assign to these fields, so Spec literals compile unchanged; note one
+// breaking rename, though: bcc.Scheme previously aliased the plan-builder
+// interface, which now lives under bcc.SchemeBuilder.
 //
 // # Reproducing the paper
 //

@@ -14,7 +14,7 @@ import (
 	"bcc"
 )
 
-func run(scheme string, m, n, r int, dead []int) (*bcc.Result, error) {
+func run(scheme bcc.Scheme, m, n, r int, dead []int) (*bcc.Result, error) {
 	return bcc.Train(bcc.Spec{
 		Examples:   m,
 		Workers:    n,
@@ -37,7 +37,7 @@ func main() {
 	fmt.Printf("cluster: m=%d n=%d r=%d; killing workers one by one\n\n", m, n, r)
 	fmt.Printf("%-12s %-8s %-24s\n", "scheme", "#dead", "outcome")
 
-	for _, scheme := range []string{"uncoded", "cyclicrep", "bcc"} {
+	for _, scheme := range []bcc.Scheme{bcc.SchemeUncoded, bcc.SchemeCyclicRep, bcc.SchemeBCC} {
 		for nDead := 0; nDead <= 3; nDead++ {
 			dead := make([]int, nDead)
 			for i := range dead {
@@ -63,7 +63,7 @@ func main() {
 
 // trainAccuracy reruns the job to compute accuracy (Train returns only the
 // result; rebuilding keeps the example short).
-func trainAccuracy(scheme string, m, n, r int, dead []int) float64 {
+func trainAccuracy(scheme bcc.Scheme, m, n, r int, dead []int) float64 {
 	job, err := bcc.NewJob(bcc.Spec{
 		Examples: m, Workers: n, Load: r, Scheme: scheme,
 		DataPoints: m * 8, Dim: 100, Iterations: 20, Seed: 11, Dead: dead,

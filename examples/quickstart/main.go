@@ -27,13 +27,20 @@ func main() {
 		Examples:   50,
 		Workers:    50,
 		Load:       10,
-		Scheme:     "bcc",
+		Scheme:     bcc.SchemeBCC,
 		DataPoints: 500, // 10 points per example unit
 		Dim:        200,
 		Iterations: 50,
 		LossEvery:  10,
 		Seed:       1,
 		Latency:    lat,
+		// An Observer streams progress from the master engine while the run
+		// executes — no post-hoc digging through Result.Iters.
+		Observer: bcc.ObserverFuncs{Iteration: func(it bcc.IterStats) {
+			if it.Iter%10 == 0 {
+				fmt.Printf("  iter %3d  loss %.5f  workers heard %d\n", it.Iter, it.Loss, it.WorkersHeard)
+			}
+		}},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -45,17 +52,12 @@ func main() {
 		job.Plan.ExpectedThreshold(), bcc.RecoveryThreshold(50, 10))
 	fmt.Printf("  lower bound m/r:            %.0f\n", bcc.RecoveryLowerBound(50, 10))
 
+	fmt.Println("\ntraining:")
 	res, err := job.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("\ntraining:")
-	for _, it := range res.Iters {
-		if it.Iter%10 == 0 {
-			fmt.Printf("  iter %3d  loss %.5f  workers heard %d\n", it.Iter, it.Loss, it.WorkersHeard)
-		}
-	}
 	fmt.Println("\nresults:")
 	fmt.Printf("  avg recovery threshold: %.2f workers (out of %d)\n", res.AvgWorkersHeard, 50)
 	fmt.Printf("  avg communication load: %.2f gradient-sized messages\n", res.AvgUnits)

@@ -24,12 +24,12 @@ func main() {
 
 	var uncodedTotal float64
 	for _, cfg := range []struct {
-		scheme string
+		scheme bcc.Scheme
 		r      int
 	}{
-		{"uncoded", 1}, // no redundancy: each worker holds m/n = 1 unit
-		{"cyclicrep", r},
-		{"bcc", r},
+		{bcc.SchemeUncoded, 1}, // no redundancy: each worker holds m/n = 1 unit
+		{bcc.SchemeCyclicRep, r},
+		{bcc.SchemeBCC, r},
 	} {
 		// Paper-style shift-exponential stragglers (§IV eq. 15): a small
 		// deterministic compute cost (tail mean 0.04 ms/point) plus a heavy

@@ -1,12 +1,14 @@
 // TCP cluster: the same BCC training job, but master and workers exchange
 // models and coded gradients over REAL loopback TCP sockets (gob-encoded),
-// with per-worker goroutines sleeping their drawn straggler latencies.
-// For a multi-PROCESS cluster, see cmd/bcccluster.
+// with per-worker goroutines sleeping their drawn straggler latencies. The
+// run is deadline-bounded through RunContext and observed live through an
+// Observer. For a multi-PROCESS cluster, see cmd/bcccluster.
 //
 //	go run ./examples/tcp_cluster
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,19 +29,30 @@ func main() {
 		Examples:   8,
 		Workers:    16,
 		Load:       2,
-		Scheme:     "bcc",
+		Scheme:     bcc.SchemeBCC,
 		DataPoints: 64,
 		Dim:        64,
 		Iterations: 20,
 		Seed:       3,
-		Runtime:    "tcp", // loopback sockets instead of channels
-		TimeScale:  1e-2,  // 1 virtual second sleeps 10 ms
+		Runtime:    bcc.RuntimeTCP, // loopback sockets instead of channels
+		TimeScale:  1e-2,           // 1 virtual second sleeps 10 ms
 		Latency:    lat,
+		// Watch each iteration's gradient become decodable as the recovery
+		// threshold is reached over real sockets.
+		Observer: bcc.ObserverFuncs{Decode: func(ev bcc.DecodeEvent) {
+			if ev.Iter%5 == 0 {
+				fmt.Printf("  iter %2d decodable after %d workers\n", ev.Iter, ev.WorkersHeard)
+			}
+		}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := job.Run()
+	// A generous deadline guards the demo against a wedged network: the run
+	// would return the completed iterations plus context.DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := job.RunContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,6 +66,21 @@ type Config struct {
 	// unchanged by construction (cancel-on-receive means every round starts
 	// with all workers idle) and only Result.TotalElapsed differs.
 	Pipelined bool
+	// Observer, if non-nil, receives lifecycle callbacks from the engine
+	// loop (see observer.go). Hooks run synchronously on the master.
+	Observer Observer
+	// StopWhen, if non-nil, is evaluated after each iteration's stats are
+	// final; returning true ends the run early with the iterations so far
+	// (no error — the Result simply holds fewer than Iterations entries).
+	StopWhen func(IterStats) bool
+	// CheckpointEvery, if positive together with a non-nil Checkpoint,
+	// invokes Checkpoint after every CheckpointEvery-th completed iteration
+	// with the completed-iteration count. A checkpoint error aborts the run
+	// (returning the iterations finished so far alongside the error).
+	CheckpointEvery int
+	// Checkpoint persists run state; wired by callers (core wires it to
+	// Job.Checkpoint). Only consulted when CheckpointEvery > 0.
+	Checkpoint func(completed int) error
 }
 
 func (c *Config) validate() error {
@@ -73,9 +88,13 @@ func (c *Config) validate() error {
 		return errors.New("cluster: Config needs Plan, Model and Opt")
 	}
 	if c.DropProb < 0 || c.DropProb >= 1 {
-		if c.DropProb != 0 {
-			return fmt.Errorf("cluster: DropProb %v outside [0, 1)", c.DropProb)
-		}
+		return fmt.Errorf("cluster: DropProb %v outside [0, 1)", c.DropProb)
+	}
+	if c.ComputeParallelism < 0 {
+		return fmt.Errorf("cluster: ComputeParallelism %d must be non-negative", c.ComputeParallelism)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("cluster: CheckpointEvery %d must be non-negative", c.CheckpointEvery)
 	}
 	m, n, _ := c.Plan.Params()
 	if len(c.Units) != m {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,6 +18,13 @@ import (
 // (sim.go), the goroutine/channel fabric and the TCP fabric (live.go,
 // tcp.go) are thin transports feeding this engine; new runtimes (async/SSP,
 // multi-host, sharded masters) plug in the same way.
+//
+// The engine is the single point where the run lifecycle is controlled and
+// observed: the caller's context cancels or deadline-bounds the run (the
+// partial Result accumulated so far is returned alongside ctx.Err()),
+// Config.Observer sees every decode point and finished iteration,
+// Config.StopWhen ends the run early, and Config.Checkpoint persists state
+// every Config.CheckpointEvery iterations.
 
 // Transport is the master engine's view of a runtime substrate: something
 // that can announce a query to the workers and hand back the resulting
@@ -24,9 +32,12 @@ import (
 type Transport interface {
 	// Broadcast announces iteration iter's query to every worker and
 	// returns the ArrivalSource for that iteration's worker transmissions.
-	// The query slice is owned by the transport after the call.
-	Broadcast(iter int, query []float64) (ArrivalSource, error)
-	// Shutdown tells the workers the run is over (best effort).
+	// The query slice is owned by the transport after the call. The context
+	// bounds the iteration: a blocking ArrivalSource.Next must return with
+	// an error no later than ctx's cancellation.
+	Broadcast(ctx context.Context, iter int, query []float64) (ArrivalSource, error)
+	// Shutdown tells the workers the run is over (best effort). The engine
+	// calls it on every exit path, including cancellation and errors.
 	Shutdown()
 	// Traits describes the transport's timing semantics.
 	Traits() Traits
@@ -62,7 +73,7 @@ type ArrivalSource interface {
 	// Next blocks for the next arrival. ok=false means every alive worker
 	// has been accounted for this iteration (arrived, died, or had its
 	// transmission dropped); a non-nil error aborts the run (timeout,
-	// broken connection).
+	// broken connection, cancelled context).
 	Next() (arr Arrival, ok bool, err error)
 	// Wall returns the iteration's elapsed time as of the last arrival
 	// returned by Next — virtual seconds on the simulator, scaled real
@@ -82,23 +93,54 @@ type ArrivalSource interface {
 // funnel into it; it is exported so future runtimes outside this file can
 // reuse the engine unchanged.
 func RunTransport(cfg *Config, tr Transport) (*Result, error) {
+	return RunTransportContext(context.Background(), cfg, tr)
+}
+
+// RunTransportContext is RunTransport bounded by a context: cancellation or
+// deadline expiry ends the run between arrivals and returns the iterations
+// completed so far alongside ctx's error.
+func RunTransportContext(ctx context.Context, cfg *Config, tr Transport) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return runEngine(cfg, tr)
+	return runEngine(ctx, cfg, tr)
 }
 
 // runEngine is THE master iteration loop. Every runtime's master behaviour
 // — early finish on decodability, stall detection, stats bookkeeping, trace
-// recording, optimizer advance — lives here and only here.
-func runEngine(cfg *Config, tr Transport) (*Result, error) {
+// recording, optimizer advance, observer callbacks, early stopping,
+// checkpointing, cancellation — lives here and only here.
+//
+// On cancellation the engine returns the partial Result of the iterations
+// already completed together with ctx.Err(); the in-flight iteration is
+// discarded. Errors without a Result (stall, broken transport) return a nil
+// Result and do not invoke Observer.OnRunEnd.
+func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) {
+	defer tr.Shutdown()
 	iters := make([]IterStats, 0, cfg.Iterations)
 	virtual := tr.Traits().Virtual
 	var totalElapsed float64
+	// finish assembles the Result over the completed iterations — the full
+	// run, an early-stopped prefix, or the partial progress of a cancelled
+	// run — and is the single place OnRunEnd fires.
+	finish := func() *Result {
+		res := summarize(vecmath.Clone(cfg.Opt.Iterate()), iters)
+		res.TotalElapsed = totalElapsed
+		if cfg.Observer != nil {
+			cfg.Observer.OnRunEnd(res)
+		}
+		return res
+	}
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return finish(), err
+		}
 		q := cfg.Opt.Query()
-		src, err := tr.Broadcast(iter, vecmath.Clone(q))
+		src, err := tr.Broadcast(ctx, iter, vecmath.Clone(q))
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return finish(), ctxErr
+			}
 			return nil, fmt.Errorf("cluster: broadcast failed at iteration %d: %w", iter, err)
 		}
 		dec := cfg.Plan.NewDecoder()
@@ -112,6 +154,9 @@ func runEngine(cfg *Config, tr Transport) (*Result, error) {
 			arr, ok, err := src.Next()
 			if err != nil {
 				src.Finish()
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return finish(), ctxErr
+				}
 				return nil, err
 			}
 			if !ok {
@@ -133,6 +178,14 @@ func runEngine(cfg *Config, tr Transport) (*Result, error) {
 				if dec.Decodable() {
 					st.Wall = src.Wall()
 					decoded = true
+					if cfg.Observer != nil {
+						cfg.Observer.OnDecode(DecodeEvent{
+							Iter:         iter,
+							Wall:         st.Wall,
+							WorkersHeard: dec.WorkersHeard(),
+							Units:        dec.UnitsReceived(),
+						})
+					}
 				}
 			}
 			if arr.Span != nil {
@@ -160,12 +213,20 @@ func runEngine(cfg *Config, tr Transport) (*Result, error) {
 			st.Loss = fullLoss(cfg)
 		}
 		iters = append(iters, st)
+		if cfg.Observer != nil {
+			cfg.Observer.OnIteration(st)
+		}
+		completed := iter + 1
+		if cfg.CheckpointEvery > 0 && cfg.Checkpoint != nil && completed%cfg.CheckpointEvery == 0 {
+			if err := cfg.Checkpoint(completed); err != nil {
+				return finish(), fmt.Errorf("cluster: checkpoint after %d iterations: %w", completed, err)
+			}
+		}
+		if cfg.StopWhen != nil && cfg.StopWhen(st) {
+			break
+		}
 	}
-	tr.Shutdown()
-	finalW := vecmath.Clone(cfg.Opt.Iterate())
-	res := summarize(finalW, iters)
-	res.TotalElapsed = totalElapsed
-	return res, nil
+	return finish(), nil
 }
 
 func fullLoss(cfg *Config) float64 {

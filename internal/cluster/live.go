@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,6 +71,16 @@ type fabric interface {
 // RunLive executes the training run with real concurrent workers over
 // channels (default) or loopback TCP (opts.TCP).
 func RunLive(cfg *Config, opts LiveOptions) (*Result, error) {
+	return RunLiveContext(context.Background(), cfg, opts)
+}
+
+// RunLiveContext is RunLive bounded by a context: cancellation interrupts
+// the master even mid-iteration (while it blocks for worker replies) and
+// returns the completed iterations' partial Result alongside ctx.Err().
+// Worker goroutines and TCP listeners are torn down on every exit path; a
+// worker mid-sleep finishes its bounded (scaled) latency sleep and then
+// exits on the closed fabric.
+func RunLiveContext(ctx context.Context, cfg *Config, opts LiveOptions) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -85,7 +96,7 @@ func RunLive(cfg *Config, opts LiveOptions) (*Result, error) {
 		return nil, err
 	}
 	defer fab.Close()
-	return runEngine(cfg, newLiveTransport(cfg, fab, opts))
+	return runEngine(ctx, cfg, newLiveTransport(cfg, fab, opts))
 }
 
 // ---------------------------------------------------------------------------
@@ -118,13 +129,14 @@ func (t *liveTransport) Traits() Traits { return Traits{} }
 
 func (t *liveTransport) Shutdown() { _ = t.fab.Broadcast(ModelUpdate{Iter: -1}) }
 
-func (t *liveTransport) Broadcast(iter int, query []float64) (ArrivalSource, error) {
+func (t *liveTransport) Broadcast(ctx context.Context, iter int, query []float64) (ArrivalSource, error) {
 	lost := drawDrops(t.drops, t.dead, t.n)
 	if err := t.fab.Broadcast(ModelUpdate{Iter: iter, Query: query}); err != nil {
 		return nil, err
 	}
 	return &liveSource{
 		t:        t,
+		ctx:      ctx,
 		iter:     iter,
 		lost:     lost,
 		start:    time.Now(),
@@ -134,6 +146,7 @@ func (t *liveTransport) Broadcast(iter int, query []float64) (ArrivalSource, err
 
 type liveSource struct {
 	t        *liveTransport
+	ctx      context.Context
 	iter     int
 	lost     map[int]bool
 	start    time.Time
@@ -169,6 +182,8 @@ func (s *liveSource) Next() (Arrival, bool, error) {
 				sleepVirtual(s.t.cfg.IngressPerUnit*units, s.t.opts.TimeScale)
 			}
 			return Arrival{Worker: rep.Worker, Compute: rep.Compute, Units: units, Msgs: rep.Msgs}, true, nil
+		case <-s.ctx.Done():
+			return Arrival{}, false, s.ctx.Err()
 		case <-s.deadline.C:
 			return Arrival{}, false, fmt.Errorf("cluster: iteration %d timed out after %v (%d/%d replies)",
 				s.iter, s.t.opts.Timeout, s.replies, s.t.fab.AliveWorkers())

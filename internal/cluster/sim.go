@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+
 	"bcc/internal/coding"
 	"bcc/internal/des"
 	"bcc/internal/trace"
@@ -23,10 +25,18 @@ import (
 
 // RunSim executes the training run on the discrete-event simulator.
 func RunSim(cfg *Config) (*Result, error) {
+	return RunSimContext(context.Background(), cfg)
+}
+
+// RunSimContext is RunSim bounded by a context: cancellation returns the
+// completed iterations' partial Result alongside ctx.Err(). The simulator
+// checks the context between workers while simulating an iteration, so even
+// a single huge round is cancellable.
+func RunSimContext(ctx context.Context, cfg *Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return runEngine(cfg, newSimTransport(cfg))
+	return runEngine(ctx, cfg, newSimTransport(cfg))
 }
 
 type simTransport struct {
@@ -71,11 +81,14 @@ type simArrival struct {
 // ingress cost the master is busy IngressPerUnit seconds per unit, so
 // messages queue behind each other; with zero cost the drain is
 // instantaneous at the arrival time.
-func (t *simTransport) Broadcast(iter int, query []float64) (ArrivalSource, error) {
+func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64) (ArrivalSource, error) {
 	lost := drawDrops(t.drops, t.dead, t.n)
 	var sched des.Scheduler
 	arrivals := make([]simArrival, 0, t.n)
 	for w := 0; w < t.n; w++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if t.dead[w] {
 			continue
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -203,8 +204,16 @@ type Fabric = fabric
 // RunWithFabric drives the master engine over an already-connected fabric.
 // The caller retains ownership of the fabric and must Close it.
 func RunWithFabric(cfg *Config, fab Fabric, opts LiveOptions) (*Result, error) {
+	return RunWithFabricContext(context.Background(), cfg, fab, opts)
+}
+
+// RunWithFabricContext is RunWithFabric bounded by a context: cancellation
+// interrupts the master even while it blocks for replies and returns the
+// completed iterations' partial Result alongside ctx.Err(). The caller
+// still owns the fabric and must Close it to release worker connections.
+func RunWithFabricContext(ctx context.Context, cfg *Config, fab Fabric, opts LiveOptions) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return runEngine(cfg, newLiveTransport(cfg, fab, opts))
+	return runEngine(ctx, cfg, newLiveTransport(cfg, fab, opts))
 }

@@ -5,7 +5,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"bcc/internal/checkpoint"
 	"bcc/internal/cluster"
@@ -16,6 +19,159 @@ import (
 	"bcc/internal/rngutil"
 	"bcc/internal/trace"
 )
+
+// ---------------------------------------------------------------------------
+// Typed option values
+// ---------------------------------------------------------------------------
+//
+// Scheme, Optimizer and Runtime are defined string types so that option
+// values are part of the API surface instead of stringly-typed folklore:
+// misconfiguration fails fast at NewJob time with one error shape
+// (*OptionError) naming the field, the offending value and the known values,
+// instead of surfacing three layers deep during Run. Untyped string
+// constants still assign directly, so Spec literals like
+// Spec{Scheme: "bcc"} keep compiling; code that holds these fields in
+// plain string variables must add a conversion.
+
+// Scheme names a registered gradient-coding scheme (see coding.Names()).
+type Scheme string
+
+// The registered gradient-coding schemes.
+const (
+	SchemeBCC        Scheme = "bcc"
+	SchemeBCCApprox  Scheme = "bccapprox"
+	SchemeBCCMulti   Scheme = "bccmulti"
+	SchemeCyclicMDS  Scheme = "cyclicmds"
+	SchemeCyclicRep  Scheme = "cyclicrep"
+	SchemeFractional Scheme = "fractional"
+	SchemeRandomized Scheme = "randomized"
+	SchemeUncoded    Scheme = "uncoded"
+)
+
+// Validate resolves the scheme against the coding registry.
+func (s Scheme) Validate() error {
+	if _, err := coding.Lookup(string(s)); err != nil {
+		return &OptionError{Option: "Scheme", Value: string(s), Known: coding.Names()}
+	}
+	return nil
+}
+
+// Optimizer names a first-order update rule.
+type Optimizer string
+
+// The registered optimizers.
+const (
+	OptimizerNesterov Optimizer = "nesterov"
+	OptimizerGD       Optimizer = "gd"
+)
+
+// optimizers is the registry behind Optimizer resolution; each entry builds
+// a fresh optimizer at the given dimension and step size.
+var optimizers = map[Optimizer]func(dim int, step float64) optimize.Optimizer{
+	OptimizerNesterov: func(dim int, step float64) optimize.Optimizer {
+		return optimize.NewNesterov(make([]float64, dim), optimize.Constant(step))
+	},
+	OptimizerGD: func(dim int, step float64) optimize.Optimizer {
+		return optimize.NewGD(make([]float64, dim), optimize.Constant(step))
+	},
+}
+
+// Validate resolves the optimizer against the registry.
+func (o Optimizer) Validate() error {
+	if _, ok := optimizers[o]; !ok {
+		return &OptionError{Option: "Optimizer", Value: string(o), Known: optionNames(optimizers)}
+	}
+	return nil
+}
+
+// Optimizers lists the registered optimizer names, sorted.
+func Optimizers() []Optimizer { return typedNames[Optimizer](optimizers) }
+
+// Runtime names an execution substrate for the master engine.
+type Runtime string
+
+// The registered runtimes. All of them drive the same master engine over
+// different transports.
+const (
+	RuntimeSim  Runtime = "sim"
+	RuntimeLive Runtime = "live"
+	RuntimeTCP  Runtime = "tcp"
+)
+
+// runtimes is the registry behind Runtime resolution: each entry drives the
+// shared master engine over one transport.
+var runtimes = map[Runtime]func(ctx context.Context, cfg *cluster.Config, spec Spec) (*cluster.Result, error){
+	RuntimeSim: func(ctx context.Context, cfg *cluster.Config, _ Spec) (*cluster.Result, error) {
+		return cluster.RunSimContext(ctx, cfg)
+	},
+	RuntimeLive: func(ctx context.Context, cfg *cluster.Config, spec Spec) (*cluster.Result, error) {
+		return cluster.RunLiveContext(ctx, cfg, cluster.LiveOptions{TimeScale: spec.TimeScale})
+	},
+	RuntimeTCP: func(ctx context.Context, cfg *cluster.Config, spec Spec) (*cluster.Result, error) {
+		return cluster.RunLiveContext(ctx, cfg, cluster.LiveOptions{TimeScale: spec.TimeScale, TCP: true})
+	},
+}
+
+// Validate resolves the runtime against the registry.
+func (r Runtime) Validate() error {
+	if _, ok := runtimes[r]; !ok {
+		return &OptionError{Option: "Runtime", Value: string(r), Known: optionNames(runtimes)}
+	}
+	return nil
+}
+
+// Runtimes lists the registered runtime names, sorted.
+func Runtimes() []Runtime { return typedNames[Runtime](runtimes) }
+
+func optionNames[K ~string, V any](m map[K]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, string(k))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func typedNames[K ~string, V any](m map[K]V) []K {
+	names := optionNames(m)
+	out := make([]K, len(names))
+	for i, n := range names {
+		out[i] = K(n)
+	}
+	return out
+}
+
+// OptionError reports a Spec field holding an invalid value. All option
+// validation — unknown scheme/optimizer/runtime names, out-of-range knobs —
+// reports through this one type, so callers can errors.As for it and print
+// the known values.
+type OptionError struct {
+	// Option is the Spec field name, e.g. "Scheme" or "DropProb".
+	Option string
+	// Value is the offending value, formatted.
+	Value string
+	// Known lists the valid values when they are enumerable (registry-backed
+	// options); empty for range constraints.
+	Known []string
+	// Reason states the violated constraint for non-enumerable options,
+	// e.g. "outside [0, 1)".
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	switch {
+	case len(e.Known) > 0:
+		return fmt.Sprintf("bcc: unknown %s %q (known: %s)", e.Option, e.Value, strings.Join(e.Known, ", "))
+	case e.Reason != "":
+		return fmt.Sprintf("bcc: invalid %s %s: %s", e.Option, e.Value, e.Reason)
+	default:
+		return fmt.Sprintf("bcc: invalid %s %s", e.Option, e.Value)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Spec
+// ---------------------------------------------------------------------------
 
 // Spec describes a distributed training job at the level a library user
 // thinks about it. Zero values select the documented defaults.
@@ -41,16 +197,18 @@ type Spec struct {
 	Workers int
 	// Load is r, the per-worker computational load in units.
 	Load int
-	// Scheme names the gradient code (see coding.Names()); default "bcc".
-	Scheme string
+	// Scheme names the gradient code (default SchemeBCC). Untyped string
+	// constants assign directly: Spec{Scheme: "bcc"} keeps working.
+	Scheme Scheme
 
 	// --- optimization ---
 	// Iterations of distributed gradient descent (paper: 100).
 	Iterations int
 	// StepSize is the constant learning rate (default 0.5).
 	StepSize float64
-	// Optimizer is "nesterov" (default, as in the paper) or "gd".
-	Optimizer string
+	// Optimizer is OptimizerNesterov (default, as in the paper) or
+	// OptimizerGD.
+	Optimizer Optimizer
 
 	// --- environment ---
 	// Seed drives all randomness; runs with equal specs and seeds are
@@ -62,10 +220,21 @@ type Spec struct {
 	IngressPerUnit float64
 	// Dead workers never respond.
 	Dead []int
-	// Runtime is "sim" (default), "live" (goroutines+channels) or "tcp"
-	// (goroutines over loopback sockets). All three run the same master
-	// engine over different transports.
-	Runtime string
+	// DropProb makes the master lose each worker transmission independently
+	// with this probability (fault injection for lossy networks; workers do
+	// not retransmit). Must lie in [0, 1).
+	DropProb float64
+	// DropSeed seeds the drop draws (only used when DropProb > 0); the
+	// fault pattern is identical across runtimes for a given seed.
+	DropSeed uint64
+	// ComputeParallelism fans each worker's per-example gradient
+	// computations out over this many goroutines (0/1 = serial); results
+	// are bit-for-bit identical to the serial path.
+	ComputeParallelism int
+	// Runtime is RuntimeSim (default), RuntimeLive (goroutines+channels)
+	// or RuntimeTCP (goroutines over loopback sockets). All three run the
+	// same master engine over different transports.
+	Runtime Runtime
 	// Pipelined broadcasts iteration k+1 the moment iteration k decodes and
 	// cancels straggler work in flight, instead of serializing iterations
 	// at the workers (see cluster.Config.Pipelined).
@@ -76,6 +245,26 @@ type Spec struct {
 	LossEvery int
 	// Trace records per-iteration worker timelines (sim runtime only).
 	Trace *trace.Recorder
+
+	// --- run lifecycle ---
+	// Observer, if non-nil, receives per-iteration callbacks from the
+	// engine loop on every runtime (see cluster.Observer).
+	Observer cluster.Observer
+	// StopWhen, if non-nil, ends the run early (no error) after the first
+	// iteration whose final stats satisfy it.
+	StopWhen func(cluster.IterStats) bool
+	// GradNormTol, if positive, ends the run early once the decoded
+	// gradient's Euclidean norm falls to or below this tolerance. Composes
+	// with StopWhen (either condition stops).
+	GradNormTol float64
+	// CheckpointEvery, if positive together with CheckpointPath, writes an
+	// optimizer checkpoint to CheckpointPath after every CheckpointEvery-th
+	// iteration (atomically; see Job.Checkpoint). The stored completed
+	// count is cumulative: this run's finished iterations plus any
+	// Job.Resumed base set by RestoreCheckpoint.
+	CheckpointEvery int
+	// CheckpointPath is where periodic checkpoints are written.
+	CheckpointPath string
 }
 
 func (s *Spec) withDefaults() Spec {
@@ -99,7 +288,7 @@ func (s *Spec) withDefaults() Spec {
 		out.Separation = 1.5
 	}
 	if out.Scheme == "" {
-		out.Scheme = "bcc"
+		out.Scheme = SchemeBCC
 	}
 	if out.Iterations == 0 {
 		out.Iterations = 100
@@ -108,16 +297,51 @@ func (s *Spec) withDefaults() Spec {
 		out.StepSize = 0.5
 	}
 	if out.Optimizer == "" {
-		out.Optimizer = "nesterov"
+		out.Optimizer = OptimizerNesterov
 	}
 	if out.Runtime == "" {
-		out.Runtime = "sim"
+		out.Runtime = RuntimeSim
 	}
 	return out
 }
 
+// validateOptions fails fast on misconfigured options, after defaults are
+// applied. Every failure is an *OptionError.
+func (s *Spec) validateOptions() error {
+	if err := s.Scheme.Validate(); err != nil {
+		return err
+	}
+	if err := s.Optimizer.Validate(); err != nil {
+		return err
+	}
+	if err := s.Runtime.Validate(); err != nil {
+		return err
+	}
+	if s.DropProb < 0 || s.DropProb >= 1 {
+		return &OptionError{Option: "DropProb", Value: fmt.Sprintf("%v", s.DropProb), Reason: "outside [0, 1)"}
+	}
+	if s.ComputeParallelism < 0 {
+		return &OptionError{Option: "ComputeParallelism", Value: fmt.Sprintf("%d", s.ComputeParallelism), Reason: "must be non-negative"}
+	}
+	if s.CheckpointEvery < 0 {
+		return &OptionError{Option: "CheckpointEvery", Value: fmt.Sprintf("%d", s.CheckpointEvery), Reason: "must be non-negative"}
+	}
+	if s.CheckpointEvery > 0 && s.CheckpointPath == "" {
+		return &OptionError{Option: "CheckpointPath", Value: `""`, Reason: "required when CheckpointEvery > 0"}
+	}
+	if s.GradNormTol < 0 {
+		return &OptionError{Option: "GradNormTol", Value: fmt.Sprintf("%v", s.GradNormTol), Reason: "must be non-negative"}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Job
+// ---------------------------------------------------------------------------
+
 // Job is a fully-materialized training run: data generated, placement
-// planned, optimizer initialized. Build with NewJob, execute with Run.
+// planned, optimizer initialized. Build with NewJob, execute with Run or
+// RunContext.
 type Job struct {
 	Spec  Spec
 	Data  *dataset.Dataset
@@ -125,13 +349,24 @@ type Job struct {
 	Plan  coding.Plan
 	Units [][]int
 	Opt   optimize.Optimizer
+	// Resumed is the number of iterations already completed against this
+	// job's optimizer state before the next run — set by RestoreCheckpoint,
+	// zero for a fresh job. Periodic checkpoints record Resumed plus the
+	// current run's completed count, so a resumed run's checkpoints carry
+	// the true cumulative progress.
+	Resumed int
 }
 
 // NewJob generates the synthetic dataset and materializes the job. All
 // randomness (data, placement, latency seeds if the caller builds them from
-// the same stream) derives from spec.Seed.
+// the same stream) derives from spec.Seed. Option misconfiguration —
+// unknown scheme/optimizer/runtime, out-of-range fault-injection knobs —
+// fails here with an *OptionError rather than at Run time.
 func NewJob(spec Spec) (*Job, error) {
 	s := spec.withDefaults()
+	if err := s.validateOptions(); err != nil {
+		return nil, err
+	}
 	rng := rngutil.New(s.Seed)
 	ds, err := dataset.Generate(dataset.Config{
 		N:              s.DataPoints,
@@ -149,11 +384,14 @@ func NewJob(spec Spec) (*Job, error) {
 // drives the placement randomness.
 func NewJobWithData(spec Spec, ds *dataset.Dataset, rng *rngutil.RNG) (*Job, error) {
 	s := spec.withDefaults()
+	if err := s.validateOptions(); err != nil {
+		return nil, err
+	}
 	units, err := ds.Units(s.Examples)
 	if err != nil {
 		return nil, err
 	}
-	sch, err := coding.Lookup(s.Scheme)
+	sch, err := coding.Lookup(string(s.Scheme))
 	if err != nil {
 		return nil, err
 	}
@@ -162,44 +400,65 @@ func NewJobWithData(spec Spec, ds *dataset.Dataset, rng *rngutil.RNG) (*Job, err
 		return nil, fmt.Errorf("core: planning %s: %w", s.Scheme, err)
 	}
 	mod := &model.Logistic{Data: ds, Lambda: s.Lambda}
-	var opt optimize.Optimizer
-	switch s.Optimizer {
-	case "nesterov":
-		opt = optimize.NewNesterov(make([]float64, mod.Dim()), optimize.Constant(s.StepSize))
-	case "gd":
-		opt = optimize.NewGD(make([]float64, mod.Dim()), optimize.Constant(s.StepSize))
-	default:
-		return nil, fmt.Errorf("core: unknown optimizer %q (want nesterov or gd)", s.Optimizer)
-	}
-	return &Job{Spec: s, Data: ds, Model: mod, Plan: plan, Units: units, Opt: opt}, nil
+	// validateOptions above guarantees the registry entry exists.
+	build := optimizers[s.Optimizer]
+	return &Job{Spec: s, Data: ds, Model: mod, Plan: plan, Units: units, Opt: build(mod.Dim(), s.StepSize)}, nil
 }
 
-// Run executes the job on the runtime selected by the spec.
-func (j *Job) Run() (*cluster.Result, error) {
-	cfg := &cluster.Config{
-		Plan:           j.Plan,
-		Model:          j.Model,
-		Units:          j.Units,
-		Opt:            j.Opt,
-		Iterations:     j.Spec.Iterations,
-		Latency:        j.Spec.Latency,
-		IngressPerUnit: j.Spec.IngressPerUnit,
-		Dead:           j.Spec.Dead,
-		LossEvery:      j.Spec.LossEvery,
-		Trace:          j.Spec.Trace,
-		Pipelined:      j.Spec.Pipelined,
+// clusterConfig lowers the spec to the engine's Config, wiring the lifecycle
+// hooks: the observer, the early-stop predicate (user StopWhen merged with
+// the gradient-norm tolerance) and the periodic checkpoint callback.
+func (j *Job) clusterConfig() *cluster.Config {
+	stop := j.Spec.StopWhen
+	if tol := j.Spec.GradNormTol; tol > 0 {
+		user := stop
+		stop = func(st cluster.IterStats) bool {
+			return st.GradNorm <= tol || (user != nil && user(st))
+		}
 	}
-	switch j.Spec.Runtime {
-	case "sim":
-		return cluster.RunSim(cfg)
-	case "live":
-		return cluster.RunLive(cfg, cluster.LiveOptions{TimeScale: j.Spec.TimeScale})
-	case "tcp":
-		return cluster.RunLive(cfg, cluster.LiveOptions{TimeScale: j.Spec.TimeScale, TCP: true})
-	default:
-		return nil, fmt.Errorf("core: unknown runtime %q (want sim, live or tcp)", j.Spec.Runtime)
+	var ckpt func(completed int) error
+	if j.Spec.CheckpointEvery > 0 && j.Spec.CheckpointPath != "" {
+		path := j.Spec.CheckpointPath
+		ckpt = func(completed int) error { return j.Checkpoint(path, j.Resumed+completed) }
+	}
+	return &cluster.Config{
+		Plan:               j.Plan,
+		Model:              j.Model,
+		Units:              j.Units,
+		Opt:                j.Opt,
+		Iterations:         j.Spec.Iterations,
+		Latency:            j.Spec.Latency,
+		IngressPerUnit:     j.Spec.IngressPerUnit,
+		Dead:               j.Spec.Dead,
+		DropProb:           j.Spec.DropProb,
+		DropSeed:           j.Spec.DropSeed,
+		ComputeParallelism: j.Spec.ComputeParallelism,
+		LossEvery:          j.Spec.LossEvery,
+		Trace:              j.Spec.Trace,
+		Pipelined:          j.Spec.Pipelined,
+		Observer:           j.Spec.Observer,
+		StopWhen:           stop,
+		CheckpointEvery:    j.Spec.CheckpointEvery,
+		Checkpoint:         ckpt,
 	}
 }
+
+// RunContext executes the job on the runtime selected by the spec, bounded
+// by ctx: cancellation or deadline expiry ends the run between arrivals and
+// returns the partial Result of the iterations already completed alongside
+// ctx's error (errors.Is(err, context.Canceled) / context.DeadlineExceeded).
+// Worker goroutines and TCP listeners of the live runtimes are torn down on
+// every exit path.
+func (j *Job) RunContext(ctx context.Context) (*cluster.Result, error) {
+	run, ok := runtimes[j.Spec.Runtime]
+	if !ok {
+		return nil, &OptionError{Option: "Runtime", Value: string(j.Spec.Runtime), Known: optionNames(runtimes)}
+	}
+	return run(ctx, j.clusterConfig(), j.Spec)
+}
+
+// Run executes the job without a bounding context.
+func (j *Job) Run() (*cluster.Result, error) { return j.RunContext(context.Background()) }
 
 // Accuracy returns the trained model's accuracy on its own training data for
 // a given weight vector (a convenience for examples and tests).
@@ -213,7 +472,7 @@ func (j *Job) Checkpoint(path string, completed int) error {
 		return fmt.Errorf("core: optimizer %q does not support checkpointing", j.Spec.Optimizer)
 	}
 	return checkpoint.Save(path, &checkpoint.State{
-		Scheme:    j.Spec.Scheme,
+		Scheme:    string(j.Spec.Scheme),
 		M:         j.Spec.Examples,
 		N:         j.Spec.Workers,
 		R:         j.Spec.Load,
@@ -227,13 +486,14 @@ func (j *Job) Checkpoint(path string, completed int) error {
 // RestoreCheckpoint loads path into the job after validating that the
 // checkpoint belongs to a job with the identical topology and seed (same
 // data and placement). It returns the completed-iteration count so the
-// caller can shorten the remaining run.
+// caller can shorten the remaining run, and records it in j.Resumed so that
+// subsequent periodic checkpoints carry the cumulative count.
 func (j *Job) RestoreCheckpoint(path string) (completed int, err error) {
 	st, err := checkpoint.Load(path)
 	if err != nil {
 		return 0, err
 	}
-	if err := st.Matches(j.Spec.Scheme, j.Spec.Examples, j.Spec.Workers, j.Spec.Load, j.Spec.Dim, j.Spec.Seed); err != nil {
+	if err := st.Matches(string(j.Spec.Scheme), j.Spec.Examples, j.Spec.Workers, j.Spec.Load, j.Spec.Dim, j.Spec.Seed); err != nil {
 		return 0, err
 	}
 	snap, ok := j.Opt.(optimize.Snapshotter)
@@ -243,5 +503,6 @@ func (j *Job) RestoreCheckpoint(path string) (completed int, err error) {
 	if err := snap.Restore(st.Opt); err != nil {
 		return 0, err
 	}
+	j.Resumed = st.Completed
 	return st.Completed, nil
 }

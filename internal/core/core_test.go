@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -68,9 +70,9 @@ func TestSchemesAgreeOnWeights(t *testing.T) {
 	// All schemes compute the same mathematical gradient; the learned
 	// weights must agree across schemes up to fp noise.
 	var ref []float64
-	for _, scheme := range []string{"uncoded", "bcc", "cyclicrep", "cyclicmds", "fractional", "randomized"} {
+	for _, scheme := range []Scheme{SchemeUncoded, SchemeBCC, SchemeCyclicRep, SchemeCyclicMDS, SchemeFractional, SchemeRandomized} {
 		job, err := NewJob(Spec{
-			Scheme: scheme, Examples: 12, Workers: 12, Load: 3,
+			Scheme: Scheme(scheme), Examples: 12, Workers: 12, Load: 3,
 			DataPoints: 96, Dim: 10, Iterations: 10, Seed: 7,
 		})
 		if err != nil {
@@ -91,7 +93,7 @@ func TestSchemesAgreeOnWeights(t *testing.T) {
 }
 
 func TestRuntimesAgree(t *testing.T) {
-	run := func(runtime string) []float64 {
+	run := func(runtime Runtime) []float64 {
 		job, err := NewJob(Spec{
 			Examples: 8, Workers: 16, Load: 2, DataPoints: 64, Dim: 8,
 			Iterations: 6, Seed: 11, Runtime: runtime, TimeScale: 1e-5,
@@ -243,5 +245,254 @@ func TestLatencyThreading(t *testing.T) {
 	}
 	if res.TotalWall <= 0 {
 		t.Fatal("latency did not produce positive wall time")
+	}
+}
+
+func TestGradNormTolStopsEarly(t *testing.T) {
+	spec := Spec{
+		Examples: 10, Workers: 10, Load: 2,
+		DataPoints: 80, Dim: 12, Iterations: 30, Seed: 21,
+	}
+	full, err := NewJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the norm reached at iteration 10 as the tolerance; the sim is
+	// deterministic, so the early-stopped run must halt at the first
+	// iteration of the full run whose norm is at or below it.
+	tol := fullRes.Iters[10].GradNorm
+	firstHit := -1
+	for i, it := range fullRes.Iters {
+		if it.GradNorm <= tol {
+			firstHit = i
+			break
+		}
+	}
+	spec.GradNormTol = tol
+	job, err := NewJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) >= 30 {
+		t.Fatalf("gradient tolerance did not stop the run early (%d iterations)", len(res.Iters))
+	}
+	if got := len(res.Iters) - 1; got != firstHit {
+		t.Fatalf("stopped after iteration %d, first tolerable iteration is %d", got, firstHit)
+	}
+	if last := res.Iters[len(res.Iters)-1].GradNorm; last > tol {
+		t.Fatalf("final gradient norm %v above tolerance %v", last, tol)
+	}
+}
+
+func TestStopWhenComposesWithGradNormTol(t *testing.T) {
+	spec := Spec{
+		Examples: 10, Workers: 10, Load: 2,
+		DataPoints: 80, Dim: 12, Iterations: 30, Seed: 22,
+		GradNormTol: 1e-12, // unreachable in 30 iterations
+		StopWhen:    func(st cluster.IterStats) bool { return st.Iter >= 2 },
+	}
+	job, err := NewJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 3 {
+		t.Fatalf("user StopWhen lost under GradNormTol merge: %d iterations", len(res.Iters))
+	}
+}
+
+func TestAutoCheckpointResumeRoundTrip(t *testing.T) {
+	// A run that auto-checkpoints every 5 iterations, "crashes" (is
+	// cancelled) after iteration 12, and is resumed from the latest
+	// checkpoint must finish bit-for-bit identical to an uninterrupted run.
+	path := t.TempDir() + "/auto.ckpt"
+	spec := func(iters int) Spec {
+		return Spec{
+			Examples: 10, Workers: 20, Load: 2,
+			DataPoints: 80, Dim: 12, Iterations: iters, Seed: 56,
+		}
+	}
+	full, err := NewJob(spec(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashSpec := spec(20)
+	crashSpec.CheckpointEvery = 5
+	crashSpec.CheckpointPath = path
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	crashSpec.Observer = cluster.ObserverFuncs{Iteration: func(st cluster.IterStats) {
+		if st.Iter == 12 {
+			cancel()
+		}
+	}}
+	crashed, err := NewJob(crashSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crashed.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	resumed, err := NewJob(spec(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, err := resumed.RestoreCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 10 {
+		t.Fatalf("latest auto-checkpoint holds %d completed iterations, want 10", completed)
+	}
+	resumed.Spec.Iterations = 20 - completed
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vecmath.MaxAbsDiff(fullRes.FinalW, res.FinalW); d != 0 {
+		t.Fatalf("auto-checkpoint resume diverged from uninterrupted run by %v", d)
+	}
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	job, err := NewJob(Spec{Examples: 8, Workers: 8, Load: 2, DataPoints: 32, Dim: 6, Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := job.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Iters) != 0 {
+		t.Fatalf("want empty partial result, got %+v", res)
+	}
+}
+
+func TestOptionErrorsFailFast(t *testing.T) {
+	base := Spec{Examples: 4, Workers: 4, DataPoints: 8, Dim: 2, Iterations: 1, Load: 1}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		option string
+	}{
+		{"scheme", func(s *Spec) { s.Scheme = "nope" }, "Scheme"},
+		{"optimizer", func(s *Spec) { s.Optimizer = "adamw" }, "Optimizer"},
+		{"runtime", func(s *Spec) { s.Runtime = "quantum" }, "Runtime"},
+		{"dropprob", func(s *Spec) { s.DropProb = 1.5 }, "DropProb"},
+		{"parallelism", func(s *Spec) { s.ComputeParallelism = -2 }, "ComputeParallelism"},
+		{"checkpoint-every", func(s *Spec) { s.CheckpointEvery = -1 }, "CheckpointEvery"},
+		{"checkpoint-path", func(s *Spec) { s.CheckpointEvery = 3 }, "CheckpointPath"},
+		{"grad-tol", func(s *Spec) { s.GradNormTol = -0.1 }, "GradNormTol"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base
+			tc.mutate(&spec)
+			_, err := NewJob(spec)
+			if err == nil {
+				t.Fatal("misconfigured spec accepted")
+			}
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error %T (%v) is not an *OptionError", err, err)
+			}
+			if oe.Option != tc.option {
+				t.Fatalf("OptionError names %q, want %q", oe.Option, tc.option)
+			}
+		})
+	}
+	// Registry-backed errors must list the known values.
+	_, err := NewJob(Spec{Scheme: "nope", Examples: 4, Workers: 4, DataPoints: 8, Dim: 2, Iterations: 1, Load: 1})
+	var oe *OptionError
+	if !errors.As(err, &oe) || len(oe.Known) == 0 {
+		t.Fatalf("scheme OptionError carries no known values: %v", err)
+	}
+}
+
+func TestValidateMethods(t *testing.T) {
+	if err := SchemeBCC.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OptimizerGD.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := RuntimeTCP.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Scheme("x").Validate() == nil || Optimizer("x").Validate() == nil || Runtime("x").Validate() == nil {
+		t.Fatal("bogus option values validated")
+	}
+	if got := len(Runtimes()); got != 3 {
+		t.Fatalf("Runtimes() lists %d entries", got)
+	}
+	if got := len(Optimizers()); got != 2 {
+		t.Fatalf("Optimizers() lists %d entries", got)
+	}
+}
+
+func TestResumedAutoCheckpointCountsCumulative(t *testing.T) {
+	// Auto-checkpoints written during a RESUMED run must record the
+	// cumulative completed count (restored base + this run's iterations),
+	// matching what the final Job.Checkpoint path writes.
+	path := t.TempDir() + "/cum.ckpt"
+	spec := Spec{
+		Examples: 10, Workers: 20, Load: 2,
+		DataPoints: 80, Dim: 12, Iterations: 10, Seed: 57,
+	}
+	first, err := NewJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Checkpoint(path, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	resumedSpec := spec
+	resumedSpec.CheckpointEvery = 4
+	resumedSpec.CheckpointPath = path
+	resumed, err := NewJob(resumedSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed, err := resumed.RestoreCheckpoint(path); err != nil || completed != 10 {
+		t.Fatalf("restore: completed=%d err=%v", completed, err)
+	}
+	resumed.Spec.Iterations = 10
+	if _, err := resumed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Last periodic checkpoint fired after 8 iterations of the resumed run.
+	check, err := NewJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, err := check.RestoreCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 18 {
+		t.Fatalf("resumed auto-checkpoint recorded %d completed iterations, want cumulative 18", completed)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,7 +16,7 @@ import (
 // worker's selection into K finer batches leaves the recovery threshold
 // essentially unchanged (the group-drawing collector gains log K but the
 // batch count grows K-fold) while multiplying the communication load by K.
-func MultiBatch(opt Options) (*Table, error) {
+func MultiBatch(ctx context.Context, opt Options) (*Table, error) {
 	m, n, r := 48, 480, 8
 	if opt.Quick {
 		m, n, r = 24, 240, 4
@@ -31,6 +32,9 @@ func MultiBatch(opt Options) (*Table, error) {
 	for _, k := range []int{1, 2, 4} {
 		if r%k != 0 {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		var scheme coding.Scheme
 		if k == 1 {
@@ -80,7 +84,7 @@ func MultiBatch(opt Options) (*Table, error) {
 // fraction phi of the batches slashes the recovery threshold while the
 // rescaled partial sum remains a serviceable stochastic gradient — training
 // loss degrades gracefully as phi shrinks.
-func Approx(opt Options) (*Table, error) {
+func Approx(ctx context.Context, opt Options) (*Table, error) {
 	m, n, r := 50, 100, 5 // 10 batches
 	dim, ppu := 200, 8
 	iters := opt.iterations()
@@ -122,7 +126,7 @@ func Approx(opt Options) (*Table, error) {
 			return nil, err
 		}
 		job.Plan = plan
-		res, err := job.Run()
+		res, err := job.RunContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +149,7 @@ func Approx(opt Options) (*Table, error) {
 // preferring certain batches, e.g. by data locality): the recovery
 // threshold inflates per the weighted coupon collector as the Zipf exponent
 // grows.
-func Skew(opt Options) (*Table, error) {
+func Skew(ctx context.Context, opt Options) (*Table, error) {
 	m, n, r := 50, 500, 5 // 10 batches
 	if opt.Quick {
 		m, n, r = 20, 200, 4
@@ -161,6 +165,9 @@ func Skew(opt Options) (*Table, error) {
 	uniform := coupon.ExpectedDraws(nBatches)
 	gs := scalarGradients(m)
 	for _, s := range []float64{0, 0.5, 1.0, 1.5} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		weights := coupon.ZipfWeights(nBatches, s)
 		analytic := coupon.WeightedExpectedDraws(weights)
 		scheme := coding.BCC{Weights: weights}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"bcc/internal/cluster"
 	"bcc/internal/core"
 	"bcc/internal/rngutil"
 )
@@ -13,8 +15,10 @@ import (
 // schemes take identical optimization trajectories per iteration, so the
 // scheme with the smallest per-iteration time reaches any loss target
 // first; this experiment reports the simulated time for each scheme to
-// drive the training loss below a target.
-func Convergence(opt Options) (*Table, error) {
+// drive the training loss below a target. The time-to-target is tracked by
+// an Observer while the run executes — the same hook a production caller
+// would use for live progress — instead of a post-hoc pass over the stats.
+func Convergence(ctx context.Context, opt Options) (*Table, error) {
 	m, n, r := 50, 50, 10
 	dim, ppu := 400, 10
 	iters := opt.iterations()
@@ -30,7 +34,7 @@ func Convergence(opt Options) (*Table, error) {
 		Columns: []string{"scheme", "r", "iters to target", "wall time to target (s)", "final loss"},
 	}
 	type cell struct {
-		scheme string
+		scheme core.Scheme
 		r      int
 	}
 	cells := []cell{{"uncoded", 1}, {"cyclicrep", r}, {"bcc", r}}
@@ -40,6 +44,9 @@ func Convergence(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		elapsed := 0.0
+		hitIter, hitTime := -1, math.NaN()
+		finalLoss := math.NaN()
 		job, err := core.NewJob(core.Spec{
 			DataPoints:     m * ppu,
 			Dim:            dim,
@@ -52,26 +59,21 @@ func Convergence(opt Options) (*Table, error) {
 			Latency:        lat,
 			IngressPerUnit: ec2IngressPerUnit,
 			LossEvery:      1,
+			Observer: cluster.ObserverFuncs{Iteration: func(st cluster.IterStats) {
+				elapsed += st.Wall
+				if !math.IsNaN(st.Loss) {
+					finalLoss = st.Loss
+					if hitIter < 0 && st.Loss <= target {
+						hitIter, hitTime = st.Iter, elapsed
+					}
+				}
+			}},
 		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := job.Run()
-		if err != nil {
+		if _, err := job.RunContext(ctx); err != nil {
 			return nil, err
-		}
-		elapsed := 0.0
-		hitIter, hitTime := -1, math.NaN()
-		finalLoss := math.NaN()
-		for _, it := range res.Iters {
-			elapsed += it.Wall
-			if !math.IsNaN(it.Loss) {
-				finalLoss = it.Loss
-				if hitIter < 0 && it.Loss <= target {
-					hitIter = it.Iter
-					hitTime = elapsed
-				}
-			}
 		}
 		itersCell := "-"
 		if hitIter >= 0 {
@@ -90,7 +92,7 @@ func Convergence(opt Options) (*Table, error) {
 // m and r fixed per scenario-one proportions, BCC's recovery threshold
 // stays pinned near ceil(m/r)*H while the uncoded scheme's grows linearly
 // with n — and total time follows.
-func Scaling(opt Options) (*Table, error) {
+func Scaling(ctx context.Context, opt Options) (*Table, error) {
 	r := 10
 	dim, ppu := 200, 10
 	iters := opt.iterations() / 2
@@ -110,7 +112,7 @@ func Scaling(opt Options) (*Table, error) {
 	}
 	for _, n := range ns {
 		m := n
-		runOne := func(scheme string, load int) (float64, float64, error) {
+		runOne := func(scheme core.Scheme, load int) (float64, float64, error) {
 			rng := rngutil.New(opt.seed() ^ uint64(n*31+load))
 			lat, err := EC2Latency(n, ppu, rng.Split())
 			if err != nil {
@@ -131,7 +133,7 @@ func Scaling(opt Options) (*Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			res, err := job.Run()
+			res, err := job.RunContext(ctx)
 			if err != nil {
 				return 0, 0, err
 			}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -12,7 +13,7 @@ func quickOpt() Options { return Options{Quick: true, Seed: 7} }
 
 func mustRun(t *testing.T, id string) *Table {
 	t.Helper()
-	tab, err := Run(id, quickOpt(), nil)
+	tab, err := Run(context.Background(), id, quickOpt(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestScalingSpeedupPersists(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := Run("nope", quickOpt(), nil); err == nil {
+	if _, err := Run(context.Background(), "nope", quickOpt(), nil); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -293,7 +294,7 @@ func TestNamesComplete(t *testing.T) {
 
 func TestRunAllQuick(t *testing.T) {
 	var buf bytes.Buffer
-	tables, err := RunAll(quickOpt(), &buf)
+	tables, err := RunAll(context.Background(), quickOpt(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,7 +13,7 @@ import (
 // Theorem1 validates Theorem 1's achievability on the real machinery: the
 // measured average recovery threshold of BCC across an (m, r) grid against
 // the analytic ceil(m/r)*H and the m/r lower bound.
-func Theorem1(opt Options) (*Table, error) {
+func Theorem1(ctx context.Context, opt Options) (*Table, error) {
 	m := 100
 	n := 400 // n >> m/r so the with-replacement collector analysis applies
 	if opt.Quick {
@@ -28,6 +29,9 @@ func Theorem1(opt Options) (*Table, error) {
 	for _, r := range []int{2, 5, 10, 20, 25} {
 		if r > m {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		analytic := coupon.BCCRecoveryThreshold(m, r)
 		measured, err := measureBCCThreshold(m, n, r, trials, rng)
@@ -46,7 +50,7 @@ func Theorem1(opt Options) (*Table, error) {
 // CommLoad regenerates the communication-load comparison implied by eqs.
 // (4), (6) and (8): analytic loads plus the units actually counted by the
 // decoders.
-func CommLoad(opt Options) (*Table, error) {
+func CommLoad(ctx context.Context, opt Options) (*Table, error) {
 	m, n := 100, 100
 	if opt.Quick {
 		m, n = 40, 40
@@ -65,6 +69,9 @@ func CommLoad(opt Options) (*Table, error) {
 	for _, r := range []int{2, 5, 10, 20, 25} {
 		if r > m {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		bccA := math.Min(coupon.BCCRecoveryThreshold(m, r), float64(nMeas))
 		rndA := math.Min(coupon.RandomizedCommunicationLoad(m, r), float64(nMeas*r))
@@ -124,7 +131,7 @@ func measureUnits(scheme string, m, n, r, trials int, rng *rngutil.RNG) (float64
 // Fractional reproduces the footnote-2 ablation: the fractional repetition
 // scheme finishes earlier than its worst case on average, landing between
 // CR and BCC.
-func Fractional(opt Options) (*Table, error) {
+func Fractional(ctx context.Context, opt Options) (*Table, error) {
 	m := 60
 	if opt.Quick {
 		m = 24
@@ -139,6 +146,9 @@ func Fractional(opt Options) (*Table, error) {
 	for _, r := range []int{2, 3, 4, 5, 6, 10} {
 		if m%r != 0 {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		sch, err := coding.Lookup("fractional")
 		if err != nil {
@@ -168,7 +178,7 @@ func Fractional(opt Options) (*Table, error) {
 
 // TailBound validates Lemma 2 empirically: the probability the collector
 // needs more than (1+eps) N log N draws never exceeds N^-eps.
-func TailBound(opt Options) (*Table, error) {
+func TailBound(ctx context.Context, opt Options) (*Table, error) {
 	n := 50
 	if opt.Quick {
 		n = 20
@@ -181,6 +191,9 @@ func TailBound(opt Options) (*Table, error) {
 		Columns: []string{"eps", "threshold (1+eps)N ln N", "empirical P(M >= thr)", "Lemma 2 bound N^-eps"},
 	}
 	for _, eps := range []float64{0, 0.25, 0.5, 1.0} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		thr := (1 + eps) * float64(n) * math.Log(float64(n))
 		exceed := 0
 		for k := 0; k < trials; k++ {

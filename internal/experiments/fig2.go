@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,7 +15,7 @@ import (
 // the lower bound m/r, the proposed BCC scheme, the simple randomized
 // scheme, and the CR scheme. Analytic curves are cross-checked with a
 // Monte-Carlo column for BCC measured on the real decoder.
-func Fig2(opt Options) (*Table, error) {
+func Fig2(ctx context.Context, opt Options) (*Table, error) {
 	m, n := 100, 100
 	if opt.Quick {
 		m, n = 40, 40
@@ -36,6 +37,9 @@ func Fig2(opt Options) (*Table, error) {
 		}
 	}
 	for _, r := range rs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lower := coupon.LowerBound(m, r)
 		bcc := coupon.BCCRecoveryThreshold(m, r)
 		rand := coupon.RandomizedRecoveryThreshold(m, r)

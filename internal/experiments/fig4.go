@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bcc/internal/core"
@@ -10,7 +11,7 @@ import (
 // scenarioResult is one (scenario, scheme) cell of Fig. 4 / Tables I-II.
 type scenarioResult struct {
 	Scenario  int
-	Scheme    string
+	Scheme    core.Scheme
 	Load      int
 	Threshold float64 // measured average workers heard
 	CommSec   float64
@@ -22,7 +23,7 @@ type scenarioResult struct {
 // the simulated EC2-like cluster and returns the timing breakdown, following
 // the paper's measurement protocol (computation = max among counted workers,
 // communication = total - computation).
-func runScenario(scenario, m, n, r int, scheme string, iters int, opt Options) (*scenarioResult, error) {
+func runScenario(ctx context.Context, scenario, m, n, r int, scheme core.Scheme, iters int, opt Options) (*scenarioResult, error) {
 	pointsPerUnit := 10
 	dim := 800
 	if opt.FullSize {
@@ -54,7 +55,7 @@ func runScenario(scenario, m, n, r int, scheme string, iters int, opt Options) (
 	if err != nil {
 		return nil, err
 	}
-	res, err := job.Run()
+	res, err := job.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -72,11 +73,11 @@ func runScenario(scenario, m, n, r int, scheme string, iters int, opt Options) (
 // fig4Cells runs every (scenario, scheme) combination of the paper's EC2
 // evaluation: scenario one (n=m=50) and two (n=m=100), schemes uncoded,
 // cyclic repetition (r=10) and BCC (r=10).
-func fig4Cells(opt Options) ([]*scenarioResult, error) {
+func fig4Cells(ctx context.Context, opt Options) ([]*scenarioResult, error) {
 	iters := opt.iterations()
 	type combo struct {
 		scenario, m, n, r int
-		scheme            string
+		scheme            core.Scheme
 	}
 	combos := []combo{
 		{1, 50, 50, 1, "uncoded"},
@@ -95,7 +96,7 @@ func fig4Cells(opt Options) ([]*scenarioResult, error) {
 	}
 	out := make([]*scenarioResult, 0, len(combos))
 	for _, c := range combos {
-		res, err := runScenario(c.scenario, c.m, c.n, c.r, c.scheme, iters, opt)
+		res, err := runScenario(ctx, c.scenario, c.m, c.n, c.r, c.scheme, iters, opt)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %d %s: %w", c.scenario, c.scheme, err)
 		}
@@ -106,8 +107,8 @@ func fig4Cells(opt Options) ([]*scenarioResult, error) {
 
 // Fig4 regenerates Figure 4: total running times of the uncoded, cyclic
 // repetition and BCC schemes in both scenarios, with speedups.
-func Fig4(opt Options) (*Table, error) {
-	cells, err := fig4Cells(opt)
+func Fig4(ctx context.Context, opt Options) (*Table, error) {
+	cells, err := fig4Cells(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -137,8 +138,8 @@ func Fig4(opt Options) (*Table, error) {
 }
 
 // tableBreakdown renders the Table I/II breakdown for one scenario.
-func tableBreakdown(id string, scenario int, opt Options) (*Table, error) {
-	cells, err := fig4Cells(opt)
+func tableBreakdown(ctx context.Context, id string, scenario int, opt Options) (*Table, error) {
+	cells, err := fig4Cells(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -168,13 +169,15 @@ func tableBreakdown(id string, scenario int, opt Options) (*Table, error) {
 }
 
 // Table1 regenerates Table I (scenario one breakdown).
-func Table1(opt Options) (*Table, error) { return tableBreakdown("table1", 1, opt) }
+func Table1(ctx context.Context, opt Options) (*Table, error) {
+	return tableBreakdown(ctx, "table1", 1, opt)
+}
 
 // Table2 regenerates Table II (scenario two breakdown). In Quick mode only
 // scenario one is run; Table2 then reports scenario one as a stand-in.
-func Table2(opt Options) (*Table, error) {
+func Table2(ctx context.Context, opt Options) (*Table, error) {
 	if opt.Quick {
-		return tableBreakdown("table2", 1, opt)
+		return tableBreakdown(ctx, "table2", 1, opt)
 	}
-	return tableBreakdown("table2", 2, opt)
+	return tableBreakdown(ctx, "table2", 2, opt)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,7 +13,7 @@ import (
 // (LB) assignment versus the generalized BCC scheme on the paper's
 // heterogeneous cluster (m=500 examples, n=100 workers, a_i=20, mu_i=1 for
 // 95 workers and 20 for the rest).
-func Fig5(opt Options) (*Table, error) {
+func Fig5(ctx context.Context, opt Options) (*Table, error) {
 	c := hetero.PaperFig5Cluster()
 	m := 500
 	trials := opt.trials(2000)
@@ -20,11 +21,17 @@ func Fig5(opt Options) (*Table, error) {
 		m = 100
 	}
 	rng := rngutil.New(opt.seed())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	lb := c.LBResult(m, trials, rng)
 
 	s := int(math.Floor(float64(m) * math.Log(float64(m)))) // paper: s = floor(m log m)
 	alloc, err := c.Allocate(s)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	bccMean, failures := c.CoverageResult(m, alloc.Loads, trials, rng)
@@ -33,6 +40,9 @@ func Fig5(opt Options) (*Table, error) {
 	// waves — workers keep streaming single random examples after their
 	// batch, so the rare uncovered trials close their gap in a few cheap
 	// waves and the protocol terminates almost surely.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	retryMean := c.CoverageResultRetry(m, alloc.Loads, trials, 50, rng)
 
 	t := &Table{
@@ -55,7 +65,7 @@ func Fig5(opt Options) (*Table, error) {
 
 // Theorem2 evaluates both sides of Theorem 2 on the Fig. 5 cluster: the
 // lower bound min E[T̂(m)] and the upper bound min E[T̂(floor(c m log m))]+1.
-func Theorem2(opt Options) (*Table, error) {
+func Theorem2(ctx context.Context, opt Options) (*Table, error) {
 	c := hetero.PaperFig5Cluster()
 	m := 500
 	trials := opt.trials(1000)
@@ -63,6 +73,9 @@ func Theorem2(opt Options) (*Table, error) {
 		m = 100
 	}
 	rng := rngutil.New(opt.seed())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	lower, upper, err := c.TheoremTwoBounds(m, trials, rng)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,7 +18,7 @@ import (
 // everyone) against the generalized BCC placement (P2-allocated random
 // samples, coverage decoding). Both decode the exact same gradient, so the
 // learned models agree — only the wall clock differs.
-func HeteroTrain(opt Options) (*Table, error) {
+func HeteroTrain(ctx context.Context, opt Options) (*Table, error) {
 	c := hetero.PaperFig5Cluster()
 	m := 500
 	iters := opt.iterations() / 2
@@ -72,7 +73,7 @@ func HeteroTrain(opt Options) (*Table, error) {
 			return nil, err
 		}
 		job.Plan = plan
-		return job.Run()
+		return job.RunContext(ctx)
 	}
 
 	// LB: disjoint placement proportional to mu.

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 )
 
-// Runner is one reproducible experiment.
-type Runner func(Options) (*Table, error)
+// Runner is one reproducible experiment. The context bounds the experiment's
+// training runs: cancellation aborts the current run and surfaces ctx's
+// error.
+type Runner func(context.Context, Options) (*Table, error)
 
 // registry maps experiment ids to runners, in the order of DESIGN.md §4.
 var registry = map[string]Runner{
@@ -55,15 +58,16 @@ func Names() []string {
 	return out
 }
 
-// Run executes one experiment by id and renders it to w.
-func Run(id string, opt Options, w io.Writer) (*Table, error) {
+// Run executes one experiment by id and renders it to w. ctx bounds the
+// experiment's training runs.
+func Run(ctx context.Context, id string, opt Options, w io.Writer) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		known := Names()
 		sort.Strings(known)
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
 	}
-	t, err := r(opt)
+	t, err := r(ctx, opt)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
@@ -74,10 +78,13 @@ func Run(id string, opt Options, w io.Writer) (*Table, error) {
 }
 
 // RunAll executes every experiment in order, rendering each to w.
-func RunAll(opt Options, w io.Writer) ([]*Table, error) {
+func RunAll(ctx context.Context, opt Options, w io.Writer) ([]*Table, error) {
 	var tables []*Table
 	for _, id := range order {
-		t, err := Run(id, opt, w)
+		if err := ctx.Err(); err != nil {
+			return tables, err
+		}
+		t, err := Run(ctx, id, opt, w)
 		if err != nil {
 			return tables, err
 		}
