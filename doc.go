@@ -85,6 +85,31 @@
 // breaking rename, though: bcc.Scheme previously aliased the plan-builder
 // interface, which now lives under bcc.SchemeBuilder.
 //
+// # Performance: pooled buffers and in-place kernels
+//
+// The iteration data plane is allocation-free in steady state: message
+// payload buffers are owned by a per-run pool, encoders write batch sums
+// directly into pooled buffers (Plan.EncodeInto), one decoder per run is
+// Reset between iterations and decodes in place (Decoder.DecodeInto), and
+// the engine returns every consumed payload to the pool after each decode.
+// The linear-coded schemes additionally cache their decode-coefficient
+// solves on the Plan, keyed by the responder set (order-independent, with
+// coefficients stored per worker), so the steady state solves no linear
+// systems at all. On the sim runtime this amounts to 0 heap
+// allocations per worker message (asserted by the allocation-regression
+// tests and the CI benchmark smoke).
+//
+// Ownership rule of thumb: whoever takes a payload buffer out of
+// circulation recycles it — the engine after a decode, the transport for
+// dropped/stale/post-decode messages, the TCP worker's send path once a
+// frame is serialized. Decoders only borrow buffers between Offer and
+// DecodeInto/Reset. Run
+//
+//	go test -run '^$' -bench 'BenchmarkDecode|BenchmarkRuntimes' -benchtime 100x .
+//
+// to see ns/op and allocs/op per scheme and per runtime; BENCH_PR3.json
+// records the baseline from when the pooled data plane landed.
+//
 // # Reproducing the paper
 //
 // Every table and figure of the paper regenerates through RunExperiment or

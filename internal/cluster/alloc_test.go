@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// The allocation-regression tests pin the tentpole property of the pooled
+// data plane: once the first iteration has warmed the BufferPool and the
+// per-worker scratch, a steady-state sim iteration — gradient compute,
+// encode, arrival ordering, decode, optimizer advance — performs ZERO heap
+// allocations per worker message. They measure by differencing: two
+// identical runs that differ only in iteration count must cost the same
+// number of allocations, because everything beyond the per-run fixed cost
+// (decoder construction, result assembly) is reused.
+
+// allocRun builds a reusable sim config+transport pair; RunTransport can be
+// invoked on it repeatedly (the optimizer keeps advancing, which changes
+// values but not allocation behaviour).
+func allocRun(t *testing.T, scheme string, iters int) (*Config, *simTransport) {
+	t.Helper()
+	cfg, _ := buildRun(t, scheme, 8, 8, 2, iters, 77, Zero{})
+	return cfg, newSimTransport(cfg)
+}
+
+// TestSimSteadyStateZeroAllocs asserts 0 allocations per worker message on
+// the sim runtime's per-message path in steady state.
+func TestSimSteadyStateZeroAllocs(t *testing.T) {
+	// randomized and bccmulti send multiple messages per worker, pinning the
+	// pool cap's scaling with the per-worker communication load.
+	for _, scheme := range []string{"bcc", "uncoded", "cyclicrep", "fractional", "randomized", "bccmulti"} {
+		t.Run(scheme, func(t *testing.T) {
+			const shortIters, longIters = 2, 10
+			cfgShort, trShort := allocRun(t, scheme, shortIters)
+			cfgLong, trLong := allocRun(t, scheme, longIters)
+			run := func(cfg *Config, tr *simTransport) {
+				if _, err := RunTransport(cfg, tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Warm pools, scratch buffers and slice capacities.
+			run(cfgShort, trShort)
+			run(cfgLong, trLong)
+			short := testing.AllocsPerRun(10, func() { run(cfgShort, trShort) })
+			long := testing.AllocsPerRun(10, func() { run(cfgLong, trLong) })
+			if long > short {
+				_, n, _ := cfgLong.Plan.Params()
+				extraMsgs := float64((longIters - shortIters) * n)
+				t.Fatalf("steady-state iterations allocate: %.1f allocs for %d iterations vs %.1f for %d (%.3f allocs per worker message, want 0)",
+					long, longIters, short, shortIters, (long-short)/extraMsgs)
+			}
+		})
+	}
+}
+
+// TestSimZeroAllocsWithFaults differs the same way under DropProb fault
+// injection: the per-iteration drop map is allowed (it is per iteration, not
+// per message), so this pins a small constant bound per iteration rather
+// than strict zero — catching any per-message regression on the fault path.
+func TestSimZeroAllocsWithFaults(t *testing.T) {
+	const shortIters, longIters = 2, 10
+	mk := func(iters int) (*Config, *simTransport) {
+		// High redundancy (2 batches, 16 workers) so 10% drops never stall.
+		cfg, _ := buildRun(t, "bcc", 8, 16, 4, iters, 78, Zero{})
+		cfg.DropProb = 0.1
+		cfg.DropSeed = 7
+		return cfg, newSimTransport(cfg)
+	}
+	cfgShort, trShort := mk(shortIters)
+	cfgLong, trLong := mk(longIters)
+	run := func(cfg *Config, tr *simTransport) {
+		if _, err := RunTransport(cfg, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(cfgShort, trShort)
+	run(cfgLong, trLong)
+	short := testing.AllocsPerRun(10, func() { run(cfgShort, trShort) })
+	long := testing.AllocsPerRun(10, func() { run(cfgLong, trLong) })
+	perIter := (long - short) / float64(longIters-shortIters)
+	// One map allocation per iteration for the drop draw; 4 leaves headroom
+	// for map-internal buckets while still catching per-message regressions
+	// (12 workers' messages would dwarf it).
+	if perIter > 4 {
+		t.Fatalf("fault-injected iterations allocate %.2f allocs/iter (want <= 4: the drop map only)", perIter)
+	}
+}
+
+// TestBufferPoolRecycles pins the pool contract: Get returns recycled
+// buffers, Put drops foreign sizes and respects the cap, and a nil pool
+// degrades to allocation.
+func TestBufferPoolRecycles(t *testing.T) {
+	p := NewBufferPool(4, 2)
+	b := p.Get()
+	if len(b) != 4 {
+		t.Fatalf("Get returned length %d", len(b))
+	}
+	b[0] = 42
+	p.Put(b)
+	if again := p.Get(); &again[0] != &b[0] {
+		t.Fatal("Put buffer was not recycled by Get")
+	}
+	p.Put(make([]float64, 3)) // foreign size: dropped
+	if got := p.Get(); len(got) != 4 {
+		t.Fatalf("foreign-sized Put corrupted the pool: Get length %d", len(got))
+	}
+	// Cap: only 2 buffers retained.
+	p.Put(make([]float64, 4))
+	p.Put(make([]float64, 4))
+	p.Put(make([]float64, 4))
+	p.mu.Lock()
+	free := len(p.free)
+	p.mu.Unlock()
+	if free != 2 {
+		t.Fatalf("free list holds %d buffers, cap is 2", free)
+	}
+	var nilPool *BufferPool
+	nilPool.Put(make([]float64, 4)) // must not panic
+	if buf := nilPool.Buf(5); len(buf) != 5 {
+		t.Fatalf("nil pool Buf returned length %d", len(buf))
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"bcc/internal/coding"
@@ -81,6 +82,35 @@ type Config struct {
 	// Checkpoint persists run state; wired by callers (core wires it to
 	// Job.Checkpoint). Only consulted when CheckpointEvery > 0.
 	Checkpoint func(completed int) error
+
+	// bufs is the run's shared gradient-buffer pool (see BufferPool for the
+	// ownership protocol), created lazily by buffers() before any worker
+	// goroutine starts.
+	bufs *BufferPool
+}
+
+// buffers returns the run's shared payload-buffer pool, creating it on first
+// use. It must first be called while setup is still single-threaded (the
+// engine and every transport constructor do); afterwards the pool itself is
+// safe for concurrent use.
+func (c *Config) buffers() *BufferPool {
+	if c.bufs == nil {
+		_, n, _ := c.Plan.Params()
+		// An iteration keeps up to n * messages-per-worker payloads in
+		// flight, each message holding up to two buffers (Vec + Imag) —
+		// 2*n*perWorker — and every message carries one communication unit,
+		// so CommLoadPerWorker bounds the per-worker message count. Doubling
+		// that (to 4*n*perWorker) covers a pipelined straggler round still
+		// draining while the next one encodes; the cap only bounds
+		// retention, a too-small value would silently re-allocate every
+		// iteration.
+		perWorker := int(math.Ceil(c.Plan.CommLoadPerWorker()))
+		if perWorker < 1 {
+			perWorker = 1
+		}
+		c.bufs = NewBufferPool(c.Model.Dim(), 4*n*perWorker+64)
+	}
+	return c.bufs
 }
 
 func (c *Config) validate() error {
@@ -245,35 +275,43 @@ func workerPoints(plan coding.Plan, units [][]int) []int {
 	return pts
 }
 
-// computeParts evaluates worker w's per-example partial gradients at query
-// point q: parts[k] = sum of per-row gradients over unit Assignments()[w][k].
-// With cfg.ComputeParallelism > 1 the examples are sharded over goroutines;
-// each example writes only its own buffer, so the result is bit-for-bit
-// equal to the serial path.
-func computeParts(cfg *Config, w int, q []float64) [][]float64 {
-	assign := cfg.Plan.Assignments()[w]
-	return gradientParts(cfg.Model, cfg.Units, assign, q, cfg.ComputeParallelism)
-}
-
 // gradientModel is the minimal model surface workers need.
 type gradientModel interface {
 	Dim() int
 	SubsetGradient(w []float64, rows []int, out []float64)
 }
 
-// gradientParts is the shared worker-side computation used by the sim
-// runtime (via computeParts) and by RunWorker in the live runtimes.
-func gradientParts(mod gradientModel, units [][]int, assign []int, q []float64, parallelism int) [][]float64 {
-	parts := make([][]float64, len(assign))
-	eval := func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			g := make([]float64, mod.Dim())
-			mod.SubsetGradient(q, units[assign[k]], g)
-			parts[k] = g
+// ensureParts resizes a worker's partial-gradient scratch to k buffers of
+// length dim, reusing existing buffers; contents are stale and are zeroed by
+// gradientPartsInto before use.
+func ensureParts(scratch [][]float64, k, dim int) [][]float64 {
+	if cap(scratch) < k {
+		grown := make([][]float64, k)
+		copy(grown, scratch[:cap(scratch)])
+		scratch = grown
+	}
+	scratch = scratch[:k]
+	for i := range scratch {
+		if len(scratch[i]) != dim {
+			scratch[i] = make([]float64, dim)
 		}
 	}
+	return scratch
+}
+
+// gradientPartsInto is the shared worker-side computation used by the sim
+// transport and by RunWorker in the live runtimes: parts[k] becomes the
+// gradient sum of unit assign[k] at query point q, written into the caller's
+// reusable scratch (grown on first use, allocation-free thereafter). With
+// parallelism > 1 the examples are sharded over goroutines; each example
+// writes only its own buffer, so the result is bit-for-bit equal to the
+// serial path. The returned slice is the (possibly regrown) scratch.
+func gradientPartsInto(mod gradientModel, units [][]int, assign []int, q []float64, parallelism int, scratch [][]float64) [][]float64 {
+	parts := ensureParts(scratch, len(assign), mod.Dim())
 	if parallelism <= 1 || len(assign) < 2 {
-		eval(0, len(assign))
+		// A plain call (no closure) keeps the serial hot path free of the
+		// heap-allocated func value the goroutine fan-out below would force.
+		evalParts(mod, units, assign, q, parts, 0, len(assign))
 		return parts
 	}
 	workers := parallelism
@@ -290,11 +328,21 @@ func gradientParts(mod gradientModel, units [][]int, assign []int, q []float64, 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			eval(lo, hi)
+			evalParts(mod, units, assign, q, parts, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 	return parts
+}
+
+// evalParts computes the partial gradients for assignment slots [lo, hi)
+// into the caller's scratch buffers (zeroed here before accumulation).
+func evalParts(mod gradientModel, units [][]int, assign []int, q []float64, parts [][]float64, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		g := parts[k]
+		vecmath.Fill(g, 0)
+		mod.SubsetGradient(q, units[assign[k]], g)
+	}
 }
 
 // messageBytes returns the payload size of a message in bytes (8 per
@@ -334,13 +382,12 @@ func (d *dropper) drop() bool {
 }
 
 // finishIteration folds the decoded gradient into the optimizer and fills
-// the iteration stats shared by all runtimes.
-func finishIteration(cfg *Config, dec coding.Decoder, st *IterStats) error {
-	sum, err := dec.Decode()
-	if err != nil {
+// the iteration stats shared by all runtimes. grad is the engine's reusable
+// decode buffer (length Dim), fully overwritten here.
+func finishIteration(cfg *Config, dec coding.Decoder, grad []float64, st *IterStats) error {
+	if err := dec.DecodeInto(grad); err != nil {
 		return err
 	}
-	grad := vecmath.Clone(sum)
 	vecmath.Scale(1/float64(cfg.Model.NumExamples()), grad)
 	cfg.Opt.Update(grad)
 	st.WorkersHeard = dec.WorkersHeard()

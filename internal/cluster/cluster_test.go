@@ -53,12 +53,13 @@ func buildRun(t *testing.T, scheme string, m, n, r, iterations int, seed uint64,
 }
 
 // referenceWeights runs the same optimizer sequentially on exact full
-// gradients.
+// gradients, through the allocation-free in-place path.
 func referenceWeights(mod *model.Logistic, iterations int) []float64 {
 	opt := optimize.NewNesterov(make([]float64, mod.Dim()), optimize.Constant(0.5))
-	return optimize.Run(opt, func(w []float64) []float64 {
-		return model.FullGradient(mod, w)
-	}, iterations)
+	rows := model.AllRows(mod.NumExamples())
+	return optimize.RunInPlace(opt, func(w, out []float64) {
+		model.FullGradientInto(mod, w, out, rows)
+	}, mod.Dim(), iterations)
 }
 
 func TestSimTrainsAllSchemes(t *testing.T) {

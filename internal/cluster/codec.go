@@ -23,13 +23,26 @@ type frameCodec interface {
 
 // newFrameCodec builds a codec of the named kind over the connection.
 // Supported: "gob" (default; self-describing, robust) and "wire" (compact
-// hand-rolled binary, ~3-5x faster on gradient payloads).
-func newFrameCodec(name string, rw io.ReadWriter) (frameCodec, error) {
+// hand-rolled binary, ~3-5x faster on gradient payloads). pool, if non-nil,
+// backs the wire codec's reply deserialization: gradient-sized payloads are
+// read straight into pooled buffers (the engine recycles them post-decode),
+// so the TCP master's steady-state receive path stops allocating.
+func newFrameCodec(name string, rw io.ReadWriter, pool *BufferPool) (frameCodec, error) {
 	switch name {
 	case "", "gob":
 		return &gobCodec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}, nil
 	case "wire":
-		return &wireCodec{w: wire.NewWriter(rw), r: wire.NewReader(rw)}, nil
+		c := &wireCodec{w: wire.NewWriter(rw), r: wire.NewReader(rw)}
+		if pool != nil {
+			dim := pool.Dim()
+			c.alloc = func(n int) []float64 {
+				if n != dim {
+					return nil // wire falls back to a fresh allocation
+				}
+				return pool.Get()
+			}
+		}
+		return c, nil
 	default:
 		return nil, fmt.Errorf("cluster: unknown codec %q (want gob or wire)", name)
 	}
@@ -70,6 +83,13 @@ func (c *gobCodec) ReadReply() (Reply, error) {
 type wireCodec struct {
 	w *wire.Writer
 	r *wire.Reader
+	// alloc supplies pooled payload buffers to ReadReplyInto; nil means
+	// plain allocation.
+	alloc wire.VecAlloc
+	// scratch is the reusable wire-level reply frame: its Msgs backing array
+	// is recycled across reads (the payload buffers inside are handed off to
+	// the cluster-level Reply, which the master owns).
+	scratch wire.Reply
 }
 
 func (c *wireCodec) WriteHello(h Hello) error {
@@ -109,10 +129,10 @@ func (c *wireCodec) ReadReply() (Reply, error) {
 	if err := c.expect(wire.KindReply); err != nil {
 		return Reply{}, err
 	}
-	in, err := c.r.ReadReply()
-	if err != nil {
+	if err := c.r.ReadReplyInto(&c.scratch, c.alloc); err != nil {
 		return Reply{}, err
 	}
+	in := &c.scratch
 	rep := Reply{Iter: in.Iter, Worker: in.Worker, Compute: in.Compute}
 	rep.Msgs = make([]coding.Message, len(in.Msgs))
 	for i, m := range in.Msgs {

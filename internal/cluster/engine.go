@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"bcc/internal/coding"
+	"bcc/internal/model"
 	"bcc/internal/trace"
 	"bcc/internal/vecmath"
 )
@@ -32,7 +33,9 @@ import (
 type Transport interface {
 	// Broadcast announces iteration iter's query to every worker and
 	// returns the ArrivalSource for that iteration's worker transmissions.
-	// The query slice is owned by the transport after the call. The context
+	// The query slice is owned by the transport after the call — except on
+	// SyncQuery transports, which must consume it before returning so the
+	// engine can reuse one query buffer across iterations. The context
 	// bounds the iteration: a blocking ArrivalSource.Next must return with
 	// an error no later than ctx's cancellation.
 	Broadcast(ctx context.Context, iter int, query []float64) (ArrivalSource, error)
@@ -43,12 +46,18 @@ type Transport interface {
 	Traits() Traits
 }
 
-// Traits describes a transport's clock to the engine.
+// Traits describes a transport's clock and memory semantics to the engine.
 type Traits struct {
 	// Virtual is true when the transport runs on a modelled clock (the DES
 	// simulator): arrivals after the decode point can be drained for free,
 	// which is what makes per-iteration trace recording possible.
 	Virtual bool
+	// SyncQuery is true when Broadcast consumes the query synchronously and
+	// retains no reference to it after returning; the engine then skips the
+	// per-iteration defensive clone of the optimizer's query point. Live
+	// transports hand the query to concurrent workers and must leave this
+	// false.
+	SyncQuery bool
 }
 
 // Arrival is one worker transmission as observed by the master.
@@ -111,14 +120,27 @@ func RunTransportContext(ctx context.Context, cfg *Config, tr Transport) (*Resul
 // recording, optimizer advance, observer callbacks, early stopping,
 // checkpointing, cancellation — lives here and only here.
 //
+// The loop owns the steady-state allocation budget of the data plane: one
+// decoder reused across iterations (Reset between them), one decode buffer,
+// one query clone buffer on live transports, and the run's BufferPool to
+// which every consumed message payload is returned once its iteration has
+// decoded. After the first iteration warms the pool and scratch, processing
+// a worker message allocates nothing.
+//
 // On cancellation the engine returns the partial Result of the iterations
 // already completed together with ctx.Err(); the in-flight iteration is
 // discarded. Errors without a Result (stall, broken transport) return a nil
 // Result and do not invoke Observer.OnRunEnd.
 func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) {
 	defer tr.Shutdown()
+	pool := cfg.buffers()
 	iters := make([]IterStats, 0, cfg.Iterations)
-	virtual := tr.Traits().Virtual
+	traits := tr.Traits()
+	virtual := traits.Virtual
+	dec := cfg.Plan.NewDecoder()
+	grad := make([]float64, cfg.Model.Dim())
+	var lossRows []int   // AllRows scratch for LossEvery evaluations
+	var used [][]float64 // consumed payload buffers, recycled post-decode
 	var totalElapsed float64
 	// finish assembles the Result over the completed iterations — the full
 	// run, an early-stopped prefix, or the partial progress of a cancelled
@@ -136,14 +158,20 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 			return finish(), err
 		}
 		q := cfg.Opt.Query()
-		src, err := tr.Broadcast(ctx, iter, vecmath.Clone(q))
+		if !traits.SyncQuery {
+			// Concurrent workers hold the broadcast query across iteration
+			// boundaries, so they get their own copy.
+			q = vecmath.Clone(q)
+		}
+		src, err := tr.Broadcast(ctx, iter, q)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return finish(), ctxErr
 			}
 			return nil, fmt.Errorf("cluster: broadcast failed at iteration %d: %w", iter, err)
 		}
-		dec := cfg.Plan.NewDecoder()
+		dec.Reset()
+		used = used[:0]
 		st := IterStats{Iter: iter, Loss: math.NaN()}
 		// On a virtual clock, draining the post-decode tail is free, so the
 		// trace can show the uncounted stragglers too.
@@ -188,6 +216,16 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 					}
 				}
 			}
+			// Every consumed payload goes back to the pool after this
+			// iteration's decode; the decoder may hold references until then.
+			for _, msg := range arr.Msgs {
+				if msg.Vec != nil {
+					used = append(used, msg.Vec)
+				}
+				if msg.Imag != nil {
+					used = append(used, msg.Imag)
+				}
+			}
 			if arr.Span != nil {
 				span := *arr.Span
 				span.Counted = counted
@@ -206,11 +244,19 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 			cfg.Trace.Add(trace.Iteration{Iter: iter, DecodeTime: st.Wall, Spans: spans})
 		}
 		st.Comm = st.Wall - st.Compute
-		if err := finishIteration(cfg, dec, &st); err != nil {
+		if err := finishIteration(cfg, dec, grad, &st); err != nil {
 			return nil, err
 		}
+		for i, b := range used {
+			pool.Put(b)
+			used[i] = nil
+		}
+		used = used[:0]
 		if cfg.LossEvery > 0 && iter%cfg.LossEvery == 0 {
-			st.Loss = fullLoss(cfg)
+			if lossRows == nil {
+				lossRows = model.AllRows(cfg.Model.NumExamples())
+			}
+			st.Loss = cfg.Model.SubsetLoss(cfg.Opt.Iterate(), lossRows) / float64(cfg.Model.NumExamples())
 		}
 		iters = append(iters, st)
 		if cfg.Observer != nil {
@@ -227,14 +273,6 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 		}
 	}
 	return finish(), nil
-}
-
-func fullLoss(cfg *Config) float64 {
-	rows := make([]int, cfg.Model.NumExamples())
-	for i := range rows {
-		rows[i] = i
-	}
-	return cfg.Model.SubsetLoss(cfg.Opt.Iterate(), rows) / float64(cfg.Model.NumExamples())
 }
 
 // drawDrops draws one iteration's lost transmissions: one Bernoulli draw per

@@ -105,6 +105,7 @@ func RunLiveContext(ctx context.Context, cfg *Config, opts LiveOptions) (*Result
 
 type liveTransport struct {
 	cfg   *Config
+	pool  *BufferPool
 	fab   fabric
 	opts  LiveOptions
 	dead  map[int]bool
@@ -117,6 +118,7 @@ func newLiveTransport(cfg *Config, fab fabric, opts LiveOptions) *liveTransport 
 	_, n, _ := cfg.Plan.Params()
 	return &liveTransport{
 		cfg:   cfg,
+		pool:  cfg.buffers(),
 		fab:   fab,
 		opts:  opts,
 		dead:  cfg.deadSet(),
@@ -163,13 +165,18 @@ func (s *liveSource) Next() (Arrival, bool, error) {
 		select {
 		case rep := <-s.t.fab.Replies():
 			if rep.Iter != s.iter {
-				continue // stale reply from a straggler's previous round
+				// Stale reply from a straggler's previous round; its payload
+				// buffers will never reach the decoder, so recycle them here.
+				recycleMsgs(s.t.pool, rep.Msgs)
+				continue
 			}
 			s.replies++
 			if s.lost[rep.Worker] {
 				// Transmission lost in the network; the worker will not
 				// retransmit, but its reply still counts toward the stall
-				// check above.
+				// check above. The lost payload is recycled like the wire
+				// would discard it.
+				recycleMsgs(s.t.pool, rep.Msgs)
 				continue
 			}
 			var units float64
@@ -225,6 +232,12 @@ type WorkerEnv struct {
 	// fresher model update arrives, instead of finishing the old iteration
 	// first; must match the master's Config.Pipelined.
 	Pipelined bool
+	// Bufs, if non-nil, supplies the worker's message payload buffers. The
+	// in-process fabrics share the run's master pool (the master recycles a
+	// payload once the iteration that consumed it has decoded); the
+	// out-of-process TCP worker uses a private pool whose buffers are
+	// recycled by its send function right after serialization.
+	Bufs *BufferPool
 }
 
 // RunWorker executes the worker protocol until a shutdown update (Iter < 0)
@@ -244,6 +257,9 @@ func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error
 	if scale <= 0 {
 		scale = 1e-3
 	}
+	// Per-worker partial-gradient scratch, reused across iterations; message
+	// payloads are drawn from env.Bufs and owned by the receiver once sent.
+	var parts [][]float64
 	var mu ModelUpdate
 	havePending := false
 	for {
@@ -277,17 +293,23 @@ func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error
 			continue
 		}
 		comp := env.Latency.Compute(env.Index, iter, points)
-		parts := gradientParts(env.Model, env.Units, assign, mu.Query, env.ComputeParallelism)
+		parts = gradientPartsInto(env.Model, env.Units, assign, mu.Query, env.ComputeParallelism, parts)
 		if next, preempted := sleepOrPreempt(comp, scale, updates, env.Pipelined); preempted {
 			mu, havePending = next, true
 			continue
 		}
-		msgs := env.Plan.Encode(env.Index, parts)
+		// The Msgs slice itself travels inside the Reply (the channel fabric
+		// hands it to the master by reference), so it cannot be reused here;
+		// only the payload buffers are pooled.
+		msgs := env.Plan.EncodeInto(nil, env.Index, parts, env.Bufs)
 		var units float64
 		for _, m := range msgs {
 			units += m.Units
 		}
 		if next, preempted := sleepOrPreempt(env.Latency.Upload(env.Index, iter, units), scale, updates, env.Pipelined); preempted {
+			// The encoded payloads never leave this worker: recycle them, or
+			// every preempted straggler would drain the pool.
+			recycleMsgs(env.Bufs, msgs)
 			mu, havePending = next, true
 			continue
 		}
@@ -329,6 +351,15 @@ func sleepVirtual(virtualSeconds, scale float64) {
 	time.Sleep(time.Duration(virtualSeconds * scale * float64(time.Second)))
 }
 
+// recycleMsgs returns the payload buffers of messages that will never reach
+// the decoder (dropped or stale transmissions) to the pool.
+func recycleMsgs(pool *BufferPool, msgs []coding.Message) {
+	for _, msg := range msgs {
+		pool.Put(msg.Vec)
+		pool.Put(msg.Imag)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // In-process channel fabric
 // ---------------------------------------------------------------------------
@@ -342,6 +373,7 @@ type chanFabric struct {
 func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 	_, n, _ := cfg.Plan.Params()
 	dead := cfg.deadSet()
+	pool := cfg.buffers() // created before any worker goroutine starts
 	f := &chanFabric{
 		inboxes: make([]chan ModelUpdate, n),
 		replies: make(chan Reply, n*4),
@@ -363,6 +395,7 @@ func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			TimeScale:          opts.TimeScale,
 			ComputeParallelism: cfg.ComputeParallelism,
 			Pipelined:          cfg.Pipelined,
+			Bufs:               pool,
 		}
 		go func() {
 			send := func(r Reply) error {

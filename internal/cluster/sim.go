@@ -2,19 +2,28 @@ package cluster
 
 import (
 	"context"
+	"slices"
 
 	"bcc/internal/coding"
-	"bcc/internal/des"
 	"bcc/internal/trace"
 )
 
-// The sim transport runs the master/worker timing model on the discrete-
-// event simulator: worker latencies are drawn from cfg.Latency, message
-// arrivals become events on a virtual clock, and the engine advances the
-// optimizer the moment the decoder reports decodability — exactly the
-// semantics of the live transports, but deterministic and orders of
-// magnitude faster. This is the transport the experiment harness uses to
-// regenerate the paper's figures.
+// The sim transport runs the master/worker timing model on a virtual clock:
+// worker latencies are drawn from cfg.Latency, arrivals are ordered in
+// simulated time exactly as the discrete-event scheduler would fire them
+// (time order, ties broken by worker index — each worker contributes one
+// upload event per iteration, so a stable sort realizes the identical
+// order), and the engine advances the optimizer the moment the decoder
+// reports decodability — exactly the semantics of the live transports, but
+// deterministic and orders of magnitude faster. This is the transport the
+// experiment harness uses to regenerate the paper's figures.
+//
+// The transport owns the iteration's scratch memory: per-worker partial-
+// gradient buffers, per-worker message slices, and the arrivals array are
+// all reused across iterations, and message payloads come from the run's
+// BufferPool (the engine returns them after each decode). In steady state a
+// simulated iteration therefore allocates nothing — the property the
+// allocation-regression tests pin.
 //
 // Pipelined mode needs no special handling here: cancelling stale work the
 // instant the next broadcast reaches a worker means every round starts with
@@ -41,26 +50,36 @@ func RunSimContext(ctx context.Context, cfg *Config) (*Result, error) {
 
 type simTransport struct {
 	cfg    *Config
+	pool   *BufferPool
 	lat    Latency
 	dead   map[int]bool
 	drops  *dropper
 	points []int
 	n      int
+
+	// Reusable per-iteration scratch (the transport is driven by one
+	// engine goroutine, strictly one iteration at a time).
+	parts    [][]float64        // partial-gradient buffers, max assignment size
+	msgs     [][]coding.Message // per-worker encoded messages, backing reused
+	arrivals []simArrival
+	src      simSource
 }
 
 func newSimTransport(cfg *Config) *simTransport {
 	_, n, _ := cfg.Plan.Params()
 	return &simTransport{
 		cfg:    cfg,
+		pool:   cfg.buffers(),
 		lat:    cfg.latency(),
 		dead:   cfg.deadSet(),
 		drops:  cfg.newDropper(),
 		points: workerPoints(cfg.Plan, cfg.Units),
 		n:      n,
+		msgs:   make([][]coding.Message, n),
 	}
 }
 
-func (t *simTransport) Traits() Traits { return Traits{Virtual: true} }
+func (t *simTransport) Traits() Traits { return Traits{Virtual: true, SyncQuery: true} }
 func (t *simTransport) Shutdown()      {}
 
 // simArrival is one worker transmission with its modelled timeline.
@@ -75,16 +94,29 @@ type simArrival struct {
 	drainStart, drainEnd float64
 }
 
-// Broadcast simulates the whole iteration's worker pipelines up front: the
-// DES fires arrivals in time order (ties broken by worker index), then the
+// cmpArrival orders arrivals in simulated time with ties broken by worker
+// index — the order the DES event heap would fire them, since each worker's
+// single upload event is scheduled in index order.
+func cmpArrival(a, b simArrival) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	default:
+		return a.worker - b.worker
+	}
+}
+
+// Broadcast simulates the whole iteration's worker pipelines up front:
+// arrivals are ordered in virtual time (ties by worker index), then the
 // master's receive queue is drained in arrival order — with a positive
 // ingress cost the master is busy IngressPerUnit seconds per unit, so
 // messages queue behind each other; with zero cost the drain is
 // instantaneous at the arrival time.
 func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64) (ArrivalSource, error) {
 	lost := drawDrops(t.drops, t.dead, t.n)
-	var sched des.Scheduler
-	arrivals := make([]simArrival, 0, t.n)
+	t.arrivals = t.arrivals[:0]
 	for w := 0; w < t.n; w++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -97,8 +129,10 @@ func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64)
 		}
 		bcast := t.lat.Broadcast(w, iter)
 		comp := t.lat.Compute(w, iter, t.points[w])
-		parts := computeParts(t.cfg, w, query)
-		msgs := t.cfg.Plan.Encode(w, parts)
+		t.parts = gradientPartsInto(t.cfg.Model, t.cfg.Units, t.cfg.Plan.Assignments()[w],
+			query, t.cfg.ComputeParallelism, t.parts)
+		t.msgs[w] = t.cfg.Plan.EncodeInto(t.msgs[w][:0], w, t.parts, t.pool)
+		msgs := t.msgs[w]
 		if len(msgs) == 0 {
 			continue // worker holds no data (uncoded with n > m)
 		}
@@ -107,26 +141,28 @@ func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64)
 			units += msg.Units
 		}
 		up := t.lat.Upload(w, iter, units)
-		arr := simArrival{worker: w, bcast: bcast, compute: comp, units: units, msgs: msgs}
-		sched.After(bcast+comp+up, func() {
-			arr.at = sched.Now()
-			arrivals = append(arrivals, arr)
+		t.arrivals = append(t.arrivals, simArrival{
+			at:     bcast + comp + up,
+			worker: w,
+			bcast:  bcast, compute: comp, units: units,
+			msgs: msgs,
 		})
 	}
-	sched.Run()
+	slices.SortFunc(t.arrivals, cmpArrival)
 
 	var freeAt float64
-	for i := range arrivals {
-		start := arrivals[i].at
+	for i := range t.arrivals {
+		start := t.arrivals[i].at
 		if start < freeAt {
 			start = freeAt
 		}
-		done := start + t.cfg.IngressPerUnit*arrivals[i].units
+		done := start + t.cfg.IngressPerUnit*t.arrivals[i].units
 		freeAt = done
-		arrivals[i].drainStart = start
-		arrivals[i].drainEnd = done
+		t.arrivals[i].drainStart = start
+		t.arrivals[i].drainEnd = done
 	}
-	return &simSource{t: t, arrivals: arrivals}, nil
+	t.src = simSource{t: t, arrivals: t.arrivals}
+	return &t.src, nil
 }
 
 type simSource struct {
@@ -169,4 +205,12 @@ func (s *simSource) RoundEnd() float64 {
 	return s.arrivals[len(s.arrivals)-1].drainEnd
 }
 
-func (s *simSource) Finish() {}
+// Finish recycles the payload buffers of the arrivals the engine never
+// consumed (the post-decode straggler tail in non-tracing runs); the engine
+// itself returns the consumed ones after the decode.
+func (s *simSource) Finish() {
+	for _, sa := range s.arrivals[s.next:] {
+		recycleMsgs(s.t.pool, sa.msgs)
+	}
+	s.next = len(s.arrivals)
+}

@@ -62,7 +62,7 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 		go func() { _ = DialAndServeWorker(addr, env) }()
 	}
 
-	fab, err := acceptWorkers(ln, alive, opts.Timeout, opts.Codec)
+	fab, err := acceptWorkers(ln, alive, opts.Timeout, opts.Codec, cfg.buffers())
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -71,8 +71,9 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 }
 
 // acceptWorkers accepts exactly `alive` handshaking connections on ln and
-// assembles the fabric around them.
-func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName string) (*tcpFabric, error) {
+// assembles the fabric around them. pool, if non-nil, backs the codecs'
+// reply deserialization so gradient payloads land in recycled buffers.
+func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName string, pool *BufferPool) (*tcpFabric, error) {
 	f := &tcpFabric{ln: ln, replies: make(chan Reply, alive*4+4), alive: alive}
 	f.conns = make([]net.Conn, 0, alive)
 	f.codecs = make([]frameCodec, 0, alive)
@@ -88,7 +89,7 @@ func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName 
 			f.Close()
 			return nil, fmt.Errorf("cluster: tcp accept %d/%d: %w", i, alive, err)
 		}
-		codec, err := newFrameCodec(codecName, conn)
+		codec, err := newFrameCodec(codecName, conn, pool)
 		if err != nil {
 			conn.Close()
 			f.Close()
@@ -151,9 +152,17 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 		return fmt.Errorf("cluster: worker %d dial: %w", env.Index, err)
 	}
 	defer conn.Close()
-	codec, err := newFrameCodec(env.Codec, conn)
+	// The worker's reads are model broadcasts, not replies, so its codec
+	// needs no reply pool.
+	codec, err := newFrameCodec(env.Codec, conn, nil)
 	if err != nil {
 		return err
+	}
+	if env.Bufs == nil && env.Model != nil {
+		// A TCP worker's payloads are fully serialized by the time WriteReply
+		// returns, so a small private pool recycled in the send path makes
+		// the worker's steady-state encode allocation-free too.
+		env.Bufs = NewBufferPool(env.Model.Dim(), 64)
 	}
 	if err := codec.WriteHello(Hello{Worker: env.Index}); err != nil {
 		return fmt.Errorf("cluster: worker %d hello: %w", env.Index, err)
@@ -184,16 +193,24 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 			}
 		}
 	}()
-	send := func(r Reply) error { return codec.WriteReply(r) }
+	send := func(r Reply) error {
+		err := codec.WriteReply(r)
+		// The frame is on the wire (or the connection is broken); either way
+		// the payload buffers can go back to the worker's pool.
+		recycleMsgs(env.Bufs, r.Msgs)
+		return err
+	}
 	return RunWorker(env, updates, send)
 }
 
 // ServeMaster accepts `alive` worker connections on ln and returns a fabric
 // for RunWithFabric; used by cmd/bcccluster where workers are separate
 // processes. codecName must match the workers' ("" = gob). The caller owns
-// ln's lifetime via the returned fabric's Close.
+// ln's lifetime via the returned fabric's Close. Reply payloads are
+// allocated per frame here (the engine's pool still bounds master-side
+// retention); the in-process TCP runtime wires a shared pool instead.
 func ServeMaster(ln net.Listener, alive int, timeout time.Duration, codecName string) (Fabric, error) {
-	return acceptWorkers(ln, alive, timeout, codecName)
+	return acceptWorkers(ln, alive, timeout, codecName, nil)
 }
 
 // Fabric is the exported face of the master-side substrate, for callers

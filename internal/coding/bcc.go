@@ -171,15 +171,18 @@ func (p *bccPlan) ExpectedThreshold() float64 {
 
 func (p *bccPlan) CommLoadPerWorker() float64 { return 1 }
 
-// Encode implements Plan: the batch sum, tagged with the batch id (eq. 12).
-func (p *bccPlan) Encode(worker int, parts [][]float64) []Message {
+// EncodeInto implements Plan: the batch sum, tagged with the batch id
+// (eq. 12), summed directly into a pooled payload buffer.
+func (p *bccPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts("bcc", p.assign, worker, parts)
-	return []Message{{
+	buf := grabBuf(bufs, len(parts[0]))
+	vecmath.SumVectorsInto(buf, parts)
+	return append(dst, Message{
 		From:  worker,
 		Tag:   p.choice[worker],
-		Vec:   vecmath.SumVectors(parts),
+		Vec:   buf,
 		Units: 1,
-	}}
+	})
 }
 
 func (p *bccPlan) NewDecoder() Decoder {
@@ -187,7 +190,7 @@ func (p *bccPlan) NewDecoder() Decoder {
 		plan:    p,
 		tracker: coupon.NewTracker(p.nBatches),
 		kept:    make([][]float64, p.nBatches),
-		heard:   make(map[int]bool, p.n),
+		heard:   newWorkerMask(p.n),
 	}
 }
 
@@ -195,7 +198,7 @@ type bccDecoder struct {
 	plan    *bccPlan
 	tracker *coupon.Tracker
 	kept    [][]float64 // first message per batch
-	heard   map[int]bool
+	heard   workerMask
 	units   float64
 }
 
@@ -205,8 +208,7 @@ func (d *bccDecoder) Offer(msg Message) bool {
 	if d.Decodable() {
 		return true
 	}
-	if !d.heard[msg.From] {
-		d.heard[msg.From] = true
+	if d.heard.hear(msg.From) {
 		d.units += msg.Units
 	}
 	if msg.Tag < 0 || msg.Tag >= d.plan.nBatches {
@@ -220,14 +222,25 @@ func (d *bccDecoder) Offer(msg Message) bool {
 
 func (d *bccDecoder) Decodable() bool { return d.tracker.Complete() }
 
-func (d *bccDecoder) Decode() ([]float64, error) {
+func (d *bccDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	return vecmath.SumVectors(d.kept), nil
+	vecmath.SumVectorsInto(dst, d.kept)
+	return nil
 }
 
-func (d *bccDecoder) WorkersHeard() int      { return len(d.heard) }
+func (d *bccDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *bccDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *bccDecoder) Reset() {
+	d.tracker.Reset()
+	for i := range d.kept {
+		d.kept[i] = nil
+	}
+	d.heard.reset()
+	d.units = 0
+}
 
 var _ Scheme = BCC{}

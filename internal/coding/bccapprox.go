@@ -81,7 +81,7 @@ func (p *bccApproxPlan) NewDecoder() Decoder {
 		need:     p.need,
 		tracker:  coupon.NewTracker(nb),
 		kept:     make([][]float64, nb),
-		heard:    make(map[int]bool, p.n),
+		heard:    newWorkerMask(p.n),
 		scale: func(covered int) float64 {
 			return float64(nb) / float64(covered)
 		},

@@ -185,7 +185,7 @@ func TestBCCApproxScaling(t *testing.T) {
 			dec.Offer(msg)
 		}
 	}
-	got, err := dec.Decode()
+	got, err := Decode(dec, gradDim)
 	if err != nil {
 		t.Fatal(err)
 	}

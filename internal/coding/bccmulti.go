@@ -6,6 +6,7 @@ import (
 
 	"bcc/internal/coupon"
 	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
 )
 
 // BCCMulti is a design-space ablation of BCC: instead of ONE batch of r
@@ -144,20 +145,19 @@ func (p *bccMultiPlan) ExpectedThreshold() float64 {
 
 func (p *bccMultiPlan) CommLoadPerWorker() float64 { return float64(p.k) }
 
-// Encode implements Plan: one batch-sum message per selected batch.
-func (p *bccMultiPlan) Encode(worker int, parts [][]float64) []Message {
+// EncodeInto implements Plan: one batch-sum message per selected batch,
+// summed directly into pooled payload buffers.
+func (p *bccMultiPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts("bccmulti", p.assign, worker, parts)
-	msgs := make([]Message, 0, p.k)
 	for _, sp := range p.spans[worker] {
-		sum := make([]float64, len(parts[0]))
+		sum := grabBuf(bufs, len(parts[0]))
+		vecmath.Fill(sum, 0)
 		for i := sp.lo; i < sp.hi; i++ {
-			for t, v := range parts[i] {
-				sum[t] += v
-			}
+			vecmath.AddInto(sum, parts[i])
 		}
-		msgs = append(msgs, Message{From: worker, Tag: sp.batch, Vec: sum, Units: 1})
+		dst = append(dst, Message{From: worker, Tag: sp.batch, Vec: sum, Units: 1})
 	}
-	return msgs
+	return dst
 }
 
 func (p *bccMultiPlan) NewDecoder() Decoder {
@@ -166,7 +166,7 @@ func (p *bccMultiPlan) NewDecoder() Decoder {
 		need:     p.nBatches,
 		tracker:  coupon.NewTracker(p.nBatches),
 		kept:     make([][]float64, p.nBatches),
-		heard:    make(map[int]bool, p.n),
+		heard:    newWorkerMask(p.n),
 		scale:    func(covered int) float64 { return 1 },
 	}
 }
@@ -178,7 +178,7 @@ var _ Scheme = BCCMulti{}
 // ---------------------------------------------------------------------------
 
 // coverageDecoder keeps the first message per batch and declares
-// decodability once `need` batches are covered; Decode returns the kept
+// decodability once `need` batches are covered; DecodeInto writes the kept
 // sums scaled by scale(covered) — identity for exact schemes, an inflation
 // factor for approximate ones.
 type coverageDecoder struct {
@@ -186,7 +186,7 @@ type coverageDecoder struct {
 	need     int
 	tracker  *coupon.Tracker
 	kept     [][]float64
-	heard    map[int]bool
+	heard    workerMask
 	units    float64
 	covered  int
 	scale    func(covered int) float64
@@ -196,9 +196,7 @@ func (d *coverageDecoder) Offer(msg Message) bool {
 	if d.Decodable() {
 		return true
 	}
-	if !d.heard[msg.From] {
-		d.heard[msg.From] = true
-	}
+	d.heard.hear(msg.From)
 	d.units += msg.Units
 	if msg.Tag < 0 || msg.Tag >= d.nBatches {
 		panic(fmt.Sprintf("coding: coverage decoder got invalid batch tag %d", msg.Tag))
@@ -212,30 +210,27 @@ func (d *coverageDecoder) Offer(msg Message) bool {
 
 func (d *coverageDecoder) Decodable() bool { return d.covered >= d.need }
 
-func (d *coverageDecoder) Decode() ([]float64, error) {
+func (d *coverageDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	var out []float64
-	for _, v := range d.kept {
-		if v == nil {
-			continue
-		}
-		if out == nil {
-			out = append([]float64(nil), v...)
-		} else {
-			for t, x := range v {
-				out[t] += x
-			}
-		}
-	}
+	sumSparseInto(dst, d.kept)
 	if s := d.scale(d.covered); s != 1 {
-		for t := range out {
-			out[t] *= s
-		}
+		vecmath.Scale(s, dst)
 	}
-	return out, nil
+	return nil
 }
 
-func (d *coverageDecoder) WorkersHeard() int      { return len(d.heard) }
+func (d *coverageDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *coverageDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *coverageDecoder) Reset() {
+	d.tracker.Reset()
+	for i := range d.kept {
+		d.kept[i] = nil
+	}
+	d.heard.reset()
+	d.units = 0
+	d.covered = 0
+}

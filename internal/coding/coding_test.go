@@ -34,7 +34,7 @@ func encodeWorker(p Plan, w int, gs [][]float64) []Message {
 	for k, u := range assign {
 		parts[k] = gs[u]
 	}
-	return p.Encode(w, parts)
+	return Encode(p, w, parts)
 }
 
 // driveDecoder feeds workers' messages in the given order until decodable;
@@ -48,7 +48,7 @@ func driveDecoder(t *testing.T, p Plan, gs [][]float64, order []int) ([]float64,
 			dec.Offer(msg)
 		}
 		if dec.Decodable() {
-			out, err := dec.Decode()
+			out, err := Decode(dec, gradDim)
 			if err != nil {
 				t.Fatalf("decodable decoder failed to decode: %v", err)
 			}
@@ -236,7 +236,7 @@ func TestCyclicRepCannotDecodeBelowThreshold(t *testing.T) {
 			}
 		}
 	}
-	if _, err := dec.Decode(); err != ErrNotDecodable {
+	if _, err := Decode(dec, gradDim); err != ErrNotDecodable {
 		t.Fatalf("expected ErrNotDecodable, got %v", err)
 	}
 }
@@ -331,7 +331,7 @@ func TestBCCDuplicateBatchesDiscarded(t *testing.T) {
 			dec.Offer(msg)
 		}
 	}
-	got, err := dec.Decode()
+	got, err := Decode(dec, gradDim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -527,7 +527,7 @@ func TestEncodePanicsOnWrongArity(t *testing.T) {
 			t.Fatal("Encode with wrong arity did not panic")
 		}
 	}()
-	p.Encode(0, [][]float64{{1, 2, 3}})
+	Encode(p, 0, [][]float64{{1, 2, 3}})
 }
 
 func TestOfferAfterDecodableIsIgnored(t *testing.T) {
@@ -547,6 +547,6 @@ func TestOfferAfterDecodableIsIgnored(t *testing.T) {
 	if dec.WorkersHeard() != doneAt {
 		t.Fatalf("WorkersHeard moved after decodability: %d -> %d", doneAt, dec.WorkersHeard())
 	}
-	got, _ := dec.Decode()
+	got, _ := Decode(dec, gradDim)
 	checkExact(t, "late offers", got, want)
 }

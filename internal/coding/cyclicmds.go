@@ -6,6 +6,7 @@ import (
 
 	"bcc/internal/linalg"
 	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
 )
 
 // CyclicMDS is a deterministic gradient code in the style of Raviv, Tamo,
@@ -60,7 +61,11 @@ func (CyclicMDS) Plan(m, n, r int, _ *rngutil.RNG) (Plan, error) {
 		}
 		assign[i] = ids
 	}
-	return &mdsPlan{m: m, n: n, r: r, s: s, b: b, assign: assign}, nil
+	ones := make([]complex128, m)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return &mdsPlan{m: m, n: n, r: r, s: s, b: b, assign: assign, ones: ones}, nil
 }
 
 type mdsPlan struct {
@@ -68,7 +73,18 @@ type mdsPlan struct {
 	s       int
 	b       *linalg.CMatrix
 	assign  [][]int
+	// ones is the decode target 1^T over C, built once.
+	ones []complex128
+	// decodes caches decode vectors per responder set (coefficients indexed
+	// by worker id); like codedPlan's cache it makes the plan safe for
+	// concurrent decoders and turns the per-iteration complex least-squares
+	// solve into a one-time cost.
+	decodes solveCache[[]complex128]
 }
+
+// Solves returns how many decode linear systems this plan has actually
+// solved (cache misses); exposed for the solve-cache regression tests.
+func (p *mdsPlan) Solves() int { return p.decodes.solveCount() }
 
 func (p *mdsPlan) Scheme() string          { return "cyclicmds" }
 func (p *mdsPlan) Params() (int, int, int) { return p.m, p.n, p.r }
@@ -81,15 +97,18 @@ func (p *mdsPlan) WorstCaseThreshold() int    { return p.n - p.s }
 func (p *mdsPlan) ExpectedThreshold() float64 { return float64(p.n - p.s) }
 func (p *mdsPlan) CommLoadPerWorker() float64 { return 1 }
 
-// Encode implements Plan: z_i = sum_u B[i][u] g_u, shipped as (Re, Im).
-func (p *mdsPlan) Encode(worker int, parts [][]float64) []Message {
+// EncodeInto implements Plan: z_i = sum_u B[i][u] g_u, shipped as (Re, Im)
+// in pooled payload buffers.
+func (p *mdsPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts("cyclicmds", p.assign, worker, parts)
 	dim := 0
 	if len(parts) > 0 {
 		dim = len(parts[0])
 	}
-	re := make([]float64, dim)
-	im := make([]float64, dim)
+	re := grabBuf(bufs, dim)
+	im := grabBuf(bufs, dim)
+	vecmath.Fill(re, 0)
+	vecmath.Fill(im, 0)
 	for k, u := range p.assign[worker] {
 		c := p.b.At(worker, u)
 		cr, ci := real(c), imag(c)
@@ -99,10 +118,20 @@ func (p *mdsPlan) Encode(worker int, parts [][]float64) []Message {
 			im[t] += ci * g[t]
 		}
 	}
-	return []Message{{From: worker, Tag: -1, Vec: re, Imag: im, Units: 1}}
+	return append(dst, Message{From: worker, Tag: -1, Vec: re, Imag: im, Units: 1})
 }
 
-func (p *mdsPlan) NewDecoder() Decoder { return &mdsDecoder{plan: p} }
+func (p *mdsPlan) NewDecoder() Decoder {
+	return &mdsDecoder{
+		plan:     p,
+		workers:  make([]int, 0, p.n),
+		re:       make([][]float64, 0, p.n),
+		im:       make([][]float64, 0, p.n),
+		sortBuf:  make([]int, 0, p.n),
+		keyBuf:   make([]byte, 0, 4*p.n),
+		coeffBuf: make([]complex128, p.n),
+	}
+}
 
 type mdsDecoder struct {
 	plan    *mdsPlan
@@ -110,6 +139,11 @@ type mdsDecoder struct {
 	re, im  [][]float64
 	units   float64
 	coeffs  []complex128
+
+	// Scratch reused across iterations (see codedDecoder).
+	sortBuf  []int
+	keyBuf   []byte
+	coeffBuf []complex128
 }
 
 func (d *mdsDecoder) Offer(msg Message) bool {
@@ -127,6 +161,19 @@ func (d *mdsDecoder) Offer(msg Message) bool {
 }
 
 func (d *mdsDecoder) trySolve() {
+	var key []byte
+	d.sortBuf, key = setKey(d.workers, d.sortBuf, d.keyBuf)
+	d.keyBuf = key
+	if byWorker, ok, hit := d.plan.decodes.get(key); hit {
+		if ok {
+			cs := d.coeffBuf[:len(d.workers)]
+			for i, w := range d.workers {
+				cs[i] = byWorker[w]
+			}
+			d.coeffs = cs
+		}
+		return
+	}
 	k := len(d.workers)
 	// Solve B_W^T a = 1 over C: B_W^T is m x k (m >= k), consistent because
 	// the all-ones vector lies in the span of any n-s rows.
@@ -136,12 +183,9 @@ func (d *mdsDecoder) trySolve() {
 			bt.Set(u, col, d.plan.b.At(w, u))
 		}
 	}
-	ones := make([]complex128, d.plan.m)
-	for i := range ones {
-		ones[i] = 1
-	}
-	a, err := linalg.CLeastSquares(bt, ones)
+	a, err := linalg.CLeastSquares(bt, d.plan.ones)
 	if err != nil {
+		d.plan.decodes.put(key, nil, false)
 		return
 	}
 	// Verify the residual before accepting.
@@ -156,34 +200,51 @@ func (d *mdsDecoder) trySolve() {
 		}
 	}
 	if worst > 1e-6 {
+		d.plan.decodes.put(key, nil, false)
 		return
 	}
+	byWorker := make([]complex128, d.plan.n)
+	for col, w := range d.workers {
+		byWorker[w] = a[col]
+	}
+	d.plan.decodes.put(key, byWorker, true)
 	d.coeffs = a
 }
 
 func (d *mdsDecoder) Decodable() bool { return d.coeffs != nil }
 
-// Decode combines the complex messages and returns the real part; the
+// DecodeInto combines the complex messages and writes the real part; the
 // imaginary part of the true combination is identically zero (the decode
 // identity sum_i a_i B[i][u] = 1 holds in C and the gradients are real).
-func (d *mdsDecoder) Decode() ([]float64, error) {
+func (d *mdsDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	dim := len(d.re[0])
-	out := make([]float64, dim)
+	vecmath.Fill(dst, 0)
 	for i, a := range d.coeffs {
 		ar, ai := real(a), imag(a)
 		re, im := d.re[i], d.im[i]
-		for t := 0; t < dim; t++ {
+		for t := range dst {
 			// Re[(ar + i*ai)(re + i*im)] = ar*re - ai*im
-			out[t] += ar*re[t] - ai*im[t]
+			dst[t] += ar*re[t] - ai*im[t]
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func (d *mdsDecoder) WorkersHeard() int      { return len(d.workers) }
 func (d *mdsDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *mdsDecoder) Reset() {
+	for i := range d.re {
+		d.re[i], d.im[i] = nil, nil
+	}
+	d.workers = d.workers[:0]
+	d.re = d.re[:0]
+	d.im = d.im[:0]
+	d.units = 0
+	d.coeffs = nil
+}
 
 var _ Scheme = CyclicMDS{}

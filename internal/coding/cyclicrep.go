@@ -70,12 +70,7 @@ func (c CyclicRep) Plan(m, n, r int, rng *rngutil.RNG) (Plan, error) {
 		}
 		assign[w] = ids
 	}
-	return &codedPlan{
-		scheme: "cyclicrep",
-		m:      m, n: n, r: r, s: s,
-		b:      b,
-		assign: assign,
-	}, nil
+	return newCodedPlan("cyclicrep", m, n, r, s, b, assign), nil
 }
 
 // buildCyclicRepB constructs the n x n coding matrix for tolerance s.
@@ -129,12 +124,48 @@ func buildCyclicRepB(n, s int, rng *rngutil.RNG) (*vecmath.Matrix, error) {
 
 // codedPlan is a linear gradient code with real coefficient matrix B
 // (n x m): worker i transmits sum_u B[i][u] g_u restricted to its support.
+//
+// Everything derivable from the code matrix alone is hoisted to plan
+// construction — per-worker encoding coefficients and the all-ones target
+// vector — and decode coefficient solves are memoized per responder SET
+// (order-independent, coefficients stored by worker id) in a synchronized
+// plan-level cache, so the same linear system is solved once per run
+// instead of once per iteration.
 type codedPlan struct {
 	scheme  string
 	m, n, r int
 	s       int // worst-case straggler tolerance
 	b       *vecmath.Matrix
 	assign  [][]int
+	// encCoeffs[w][k] = B[w][assign[w][k]]: the worker's encoding vector,
+	// precomputed so EncodeInto allocates nothing.
+	encCoeffs [][]float64
+	// ones is the decode target 1^T, built once.
+	ones []float64
+	// decodes caches the decode vectors a (a^T B_W = 1^T) per responder
+	// set, coefficients indexed by worker id.
+	decodes solveCache[[]float64]
+}
+
+func newCodedPlan(scheme string, m, n, r, s int, b *vecmath.Matrix, assign [][]int) *codedPlan {
+	enc := make([][]float64, n)
+	for w := 0; w < n; w++ {
+		cs := make([]float64, len(assign[w]))
+		for k, u := range assign[w] {
+			cs[k] = b.At(w, u)
+		}
+		enc[w] = cs
+	}
+	ones := make([]float64, m)
+	vecmath.Fill(ones, 1)
+	return &codedPlan{
+		scheme: scheme,
+		m:      m, n: n, r: r, s: s,
+		b:         b,
+		assign:    assign,
+		encCoeffs: enc,
+		ones:      ones,
+	}
 }
 
 func (p *codedPlan) Scheme() string          { return p.scheme }
@@ -154,23 +185,34 @@ func (p *codedPlan) ExpectedThreshold() float64 { return float64(p.n - p.s) }
 
 func (p *codedPlan) CommLoadPerWorker() float64 { return 1 }
 
-// Encode implements Plan: one message carrying the coded combination.
-func (p *codedPlan) Encode(worker int, parts [][]float64) []Message {
+// EncodeInto implements Plan: one message carrying the coded combination,
+// formed directly in a pooled payload buffer with the plan's precomputed
+// coefficients.
+func (p *codedPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts(p.scheme, p.assign, worker, parts)
-	coeffs := make([]float64, len(parts))
-	for k, u := range p.assign[worker] {
-		coeffs[k] = p.b.At(worker, u)
-	}
-	return []Message{{
+	buf := grabBuf(bufs, len(parts[0]))
+	vecmath.LinearCombinationInto(buf, p.encCoeffs[worker], parts)
+	return append(dst, Message{
 		From:  worker,
 		Tag:   -1,
-		Vec:   vecmath.LinearCombination(coeffs, parts),
+		Vec:   buf,
 		Units: 1,
-	}}
+	})
 }
 
+// Solves returns how many decode linear systems this plan has actually
+// solved (cache misses); exposed for the solve-cache regression tests.
+func (p *codedPlan) Solves() int { return p.decodes.solveCount() }
+
 func (p *codedPlan) NewDecoder() Decoder {
-	return &codedDecoder{plan: p}
+	return &codedDecoder{
+		plan:     p,
+		workers:  make([]int, 0, p.n),
+		vecs:     make([][]float64, 0, p.n),
+		sortBuf:  make([]int, 0, p.n),
+		keyBuf:   make([]byte, 0, 4*p.n),
+		coeffBuf: make([]float64, p.n),
+	}
 }
 
 type codedDecoder struct {
@@ -178,7 +220,13 @@ type codedDecoder struct {
 	workers []int
 	vecs    [][]float64
 	units   float64
-	coeffs  []float64 // decoding vector a, cached once solvable
+	coeffs  []float64 // decoding vector a in arrival order, set once solvable
+
+	// Scratch reused across iterations: responder-set key building and the
+	// arrival-order coefficient view of a cached by-worker solve.
+	sortBuf  []int
+	keyBuf   []byte
+	coeffBuf []float64
 }
 
 func (d *codedDecoder) Offer(msg Message) bool {
@@ -195,9 +243,25 @@ func (d *codedDecoder) Offer(msg Message) bool {
 }
 
 // trySolve attempts to find a with a^T B_W = 1^T for the workers heard so
-// far. Failure (a probability-zero degenerate subset, or fewer workers than
-// the threshold) leaves the decoder waiting for more messages.
+// far, consulting the plan's solve cache first: a responder set that has
+// decoded before — in any arrival order — reuses its coefficients, so the
+// steady state of a run solves each system exactly once. Failure (a
+// probability-zero degenerate subset, or fewer workers than the effective
+// threshold) leaves the decoder waiting for more messages.
 func (d *codedDecoder) trySolve() {
+	var key []byte
+	d.sortBuf, key = setKey(d.workers, d.sortBuf, d.keyBuf)
+	d.keyBuf = key
+	if byWorker, ok, hit := d.plan.decodes.get(key); hit {
+		if ok {
+			cs := d.coeffBuf[:len(d.workers)]
+			for i, w := range d.workers {
+				cs[i] = byWorker[w]
+			}
+			d.coeffs = cs
+		}
+		return
+	}
 	k := len(d.workers)
 	// Build B_W^T : m x k, solve least squares against the all-ones vector.
 	bt := vecmath.NewMatrix(d.plan.m, k)
@@ -206,28 +270,42 @@ func (d *codedDecoder) trySolve() {
 			bt.Set(u, col, d.plan.b.At(w, u))
 		}
 	}
-	ones := make([]float64, d.plan.m)
-	vecmath.Fill(ones, 1)
-	a, err := linalg.LeastSquares(bt, ones)
-	if err != nil {
+	a, err := linalg.LeastSquares(bt, d.plan.ones)
+	if err != nil || linalg.Residual(bt, a, d.plan.ones) > 1e-6 {
+		// Subset does not span the all-ones vector yet.
+		d.plan.decodes.put(key, nil, false)
 		return
 	}
-	if linalg.Residual(bt, a, ones) > 1e-6 {
-		return // subset does not span the all-ones vector yet
+	byWorker := make([]float64, d.plan.n)
+	for col, w := range d.workers {
+		byWorker[w] = a[col]
 	}
+	d.plan.decodes.put(key, byWorker, true)
 	d.coeffs = a
 }
 
 func (d *codedDecoder) Decodable() bool { return d.coeffs != nil }
 
-func (d *codedDecoder) Decode() ([]float64, error) {
+func (d *codedDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	return vecmath.LinearCombination(d.coeffs, d.vecs[:len(d.coeffs)]), nil
+	vecmath.LinearCombinationInto(dst, d.coeffs, d.vecs[:len(d.coeffs)])
+	return nil
 }
 
 func (d *codedDecoder) WorkersHeard() int      { return len(d.workers) }
 func (d *codedDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *codedDecoder) Reset() {
+	for i := range d.vecs {
+		d.vecs[i] = nil
+	}
+	d.workers = d.workers[:0]
+	d.vecs = d.vecs[:0]
+	d.units = 0
+	d.coeffs = nil
+}
 
 var _ Scheme = CyclicRep{}

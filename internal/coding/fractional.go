@@ -60,14 +60,20 @@ func (Fractional) Plan(m, n, r int, _ *rngutil.RNG) (Plan, error) {
 		blockOf[w] = bi
 		assign[w] = blocks[bi]
 	}
-	return &fractionalPlan{m: m, n: n, r: r, nBlocks: nBlocks, blockOf: blockOf, assign: assign}, nil
+	p := &fractionalPlan{m: m, n: n, r: r, nBlocks: nBlocks, blockOf: blockOf, assign: assign}
+	// The without-replacement coverage expectation is an O(n^2 * nBlocks)
+	// inclusion-exclusion sum; solve it once here instead of on every
+	// ExpectedThreshold call (the experiment harness queries it per trial).
+	p.expected = p.computeExpectedThreshold()
+	return p, nil
 }
 
 type fractionalPlan struct {
-	m, n, r int
-	nBlocks int
-	blockOf []int
-	assign  [][]int
+	m, n, r  int
+	nBlocks  int
+	blockOf  []int
+	assign   [][]int
+	expected float64 // E[K], computed at construction
 }
 
 func (p *fractionalPlan) Scheme() string          { return "fractional" }
@@ -83,13 +89,15 @@ func (p *fractionalPlan) WorstCaseThreshold() int { return p.n - (p.r - 1) }
 
 // ExpectedThreshold implements Plan: the expected number of draws, without
 // replacement, from n workers (r replicas of each of n/r blocks) until all
-// blocks appear. Computed exactly by dynamic programming on the number of
-// fully-unseen blocks: closed form
+// blocks appear — solved once at Plan construction.
+func (p *fractionalPlan) ExpectedThreshold() float64 { return p.expected }
+
+// computeExpectedThreshold evaluates E[K] exactly:
 //
 //	E[K] = n - sum over blocks of expected "wasted" draws … computed via
 //	E[K] = sum_{t} P(K > t) with P(K > t) from inclusion-exclusion over
 //	blocks entirely absent from the first t draws.
-func (p *fractionalPlan) ExpectedThreshold() float64 {
+func (p *fractionalPlan) computeExpectedThreshold() float64 {
 	n, r, nb := p.n, p.r, p.nBlocks
 	// P(K > t) = P(some block has all r replicas outside the first t draws)
 	//          = sum_{j>=1} (-1)^{j+1} C(nb, j) C(n - j*r, t) / C(n, t).
@@ -135,22 +143,25 @@ func fractionalSurvival(n, r, nb, t int) float64 {
 
 func (p *fractionalPlan) CommLoadPerWorker() float64 { return 1 }
 
-// Encode implements Plan: block sum tagged with the block id.
-func (p *fractionalPlan) Encode(worker int, parts [][]float64) []Message {
+// EncodeInto implements Plan: block sum tagged with the block id, summed
+// directly into a pooled payload buffer.
+func (p *fractionalPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts("fractional", p.assign, worker, parts)
-	return []Message{{
+	buf := grabBuf(bufs, len(parts[0]))
+	vecmath.SumVectorsInto(buf, parts)
+	return append(dst, Message{
 		From:  worker,
 		Tag:   p.blockOf[worker],
-		Vec:   vecmath.SumVectors(parts),
+		Vec:   buf,
 		Units: 1,
-	}}
+	})
 }
 
 func (p *fractionalPlan) NewDecoder() Decoder {
 	return &fractionalDecoder{
 		plan:  p,
 		kept:  make([][]float64, p.nBlocks),
-		heard: make(map[int]bool, p.n),
+		heard: newWorkerMask(p.n),
 	}
 }
 
@@ -158,7 +169,7 @@ type fractionalDecoder struct {
 	plan    *fractionalPlan
 	kept    [][]float64
 	covered int
-	heard   map[int]bool
+	heard   workerMask
 	units   float64
 }
 
@@ -166,8 +177,7 @@ func (d *fractionalDecoder) Offer(msg Message) bool {
 	if d.Decodable() {
 		return true
 	}
-	if !d.heard[msg.From] {
-		d.heard[msg.From] = true
+	if d.heard.hear(msg.From) {
 		d.units += msg.Units
 	}
 	if msg.Tag < 0 || msg.Tag >= d.plan.nBlocks {
@@ -182,14 +192,25 @@ func (d *fractionalDecoder) Offer(msg Message) bool {
 
 func (d *fractionalDecoder) Decodable() bool { return d.covered == d.plan.nBlocks }
 
-func (d *fractionalDecoder) Decode() ([]float64, error) {
+func (d *fractionalDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	return vecmath.SumVectors(d.kept), nil
+	vecmath.SumVectorsInto(dst, d.kept)
+	return nil
 }
 
-func (d *fractionalDecoder) WorkersHeard() int      { return len(d.heard) }
+func (d *fractionalDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *fractionalDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *fractionalDecoder) Reset() {
+	for i := range d.kept {
+		d.kept[i] = nil
+	}
+	d.covered = 0
+	d.heard.reset()
+	d.units = 0
+}
 
 var _ Scheme = Fractional{}

@@ -53,7 +53,7 @@ func TestFuzzAllSchemesRandomConfigs(t *testing.T) {
 				for k, u := range assign {
 					parts[k] = gs[u]
 				}
-				for _, msg := range plan.Encode(w, parts) {
+				for _, msg := range Encode(plan, w, parts) {
 					dec.Offer(msg)
 				}
 				if dec.Decodable() && decodedAt < 0 {
@@ -65,7 +65,7 @@ func TestFuzzAllSchemesRandomConfigs(t *testing.T) {
 				// constructor failed to guarantee coverage — that is a bug.
 				return false
 			}
-			got, err := dec.Decode()
+			got, err := Decode(dec, 4)
 			if err != nil {
 				return false
 			}
@@ -113,11 +113,11 @@ func TestFuzzDecodersIdempotentDecode(t *testing.T) {
 				for k, u := range assign {
 					parts[k] = gs[u]
 				}
-				for _, msg := range plan.Encode(w, parts) {
+				for _, msg := range Encode(plan, w, parts) {
 					dec.Offer(msg)
 				}
 				if dec.Decodable() && first == nil {
-					out, err := dec.Decode()
+					out, err := Decode(dec, 2)
 					if err != nil {
 						return false
 					}
@@ -127,7 +127,7 @@ func TestFuzzDecodersIdempotentDecode(t *testing.T) {
 			if first == nil {
 				return false
 			}
-			again, err := dec.Decode()
+			again, err := Decode(dec, 2)
 			if err != nil {
 				return false
 			}

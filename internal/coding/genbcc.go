@@ -115,15 +115,16 @@ func (p *genBCCPlan) CommLoadPerWorker() float64 {
 	return total / float64(p.n)
 }
 
-// Encode implements Plan: one unit message per sampled example (§IV's
-// uncoded communication model).
-func (p *genBCCPlan) Encode(worker int, parts [][]float64) []Message {
+// EncodeInto implements Plan: one unit message per sampled example (§IV's
+// uncoded communication model), copied into pooled payload buffers.
+func (p *genBCCPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts("genbcc", p.assign, worker, parts)
-	msgs := make([]Message, len(parts))
 	for k, g := range parts {
-		msgs[k] = Message{From: worker, Tag: p.assign[worker][k], Vec: g, Units: 1}
+		buf := grabBuf(bufs, len(g))
+		copy(buf, g)
+		dst = append(dst, Message{From: worker, Tag: p.assign[worker][k], Vec: buf, Units: 1})
 	}
-	return msgs
+	return dst
 }
 
 func (p *genBCCPlan) NewDecoder() Decoder {
@@ -131,7 +132,7 @@ func (p *genBCCPlan) NewDecoder() Decoder {
 		plan:    p,
 		tracker: coupon.NewTracker(p.m),
 		kept:    make([][]float64, p.m),
-		heard:   make(map[int]bool, p.n),
+		heard:   newWorkerMask(p.n),
 	}
 }
 
@@ -139,7 +140,7 @@ type genBCCDecoder struct {
 	plan    *genBCCPlan
 	tracker *coupon.Tracker
 	kept    [][]float64
-	heard   map[int]bool
+	heard   workerMask
 	units   float64
 }
 
@@ -147,7 +148,7 @@ func (d *genBCCDecoder) Offer(msg Message) bool {
 	if d.Decodable() {
 		return true
 	}
-	d.heard[msg.From] = true
+	d.heard.hear(msg.From)
 	d.units += msg.Units
 	if msg.Tag < 0 || msg.Tag >= d.plan.m {
 		panic(fmt.Sprintf("coding/genbcc: invalid example tag %d", msg.Tag))
@@ -160,15 +161,26 @@ func (d *genBCCDecoder) Offer(msg Message) bool {
 
 func (d *genBCCDecoder) Decodable() bool { return d.tracker.Complete() }
 
-func (d *genBCCDecoder) Decode() ([]float64, error) {
+func (d *genBCCDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	return vecmath.SumVectors(d.kept), nil
+	vecmath.SumVectorsInto(dst, d.kept)
+	return nil
 }
 
-func (d *genBCCDecoder) WorkersHeard() int      { return len(d.heard) }
+func (d *genBCCDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *genBCCDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *genBCCDecoder) Reset() {
+	d.tracker.Reset()
+	for i := range d.kept {
+		d.kept[i] = nil
+	}
+	d.heard.reset()
+	d.units = 0
+}
 
 var _ Scheme = GeneralizedBCC{}
 
@@ -244,12 +256,14 @@ func (p *partitionedPlan) WorstCaseThreshold() int    { return p.holders }
 func (p *partitionedPlan) ExpectedThreshold() float64 { return float64(p.holders) }
 func (p *partitionedPlan) CommLoadPerWorker() float64 { return 1 }
 
-func (p *partitionedPlan) Encode(worker int, parts [][]float64) []Message {
+func (p *partitionedPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts("partitioned", p.assign, worker, parts)
 	if len(parts) == 0 {
-		return nil
+		return dst
 	}
-	return []Message{{From: worker, Tag: worker, Vec: vecmath.SumVectors(parts), Units: 1}}
+	buf := grabBuf(bufs, len(parts[0]))
+	vecmath.SumVectorsInto(buf, parts)
+	return append(dst, Message{From: worker, Tag: worker, Vec: buf, Units: 1})
 }
 
 func (p *partitionedPlan) NewDecoder() Decoder {
@@ -277,25 +291,24 @@ func (d *partitionedDecoder) Offer(msg Message) bool {
 
 func (d *partitionedDecoder) Decodable() bool { return d.heard >= d.plan.holders }
 
-func (d *partitionedDecoder) Decode() ([]float64, error) {
+func (d *partitionedDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	var out []float64
-	for _, v := range d.got {
-		if v == nil {
-			continue
-		}
-		if out == nil {
-			out = vecmath.Clone(v)
-		} else {
-			vecmath.AddInto(out, v)
-		}
-	}
-	return out, nil
+	sumSparseInto(dst, d.got)
+	return nil
 }
 
 func (d *partitionedDecoder) WorkersHeard() int      { return d.heard }
 func (d *partitionedDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *partitionedDecoder) Reset() {
+	for i := range d.got {
+		d.got[i] = nil
+	}
+	d.heard = 0
+	d.units = 0
+}
 
 var _ Scheme = Partitioned{}

@@ -108,7 +108,7 @@ func TestPartitionedDecodesExactly(t *testing.T) {
 			dec.Offer(msg)
 		}
 	}
-	got, err := dec.Decode()
+	got, err := Decode(dec, gradDim)
 	if err != nil {
 		t.Fatal(err)
 	}

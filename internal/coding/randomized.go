@@ -80,14 +80,17 @@ func (p *randomizedPlan) ExpectedThreshold() float64 {
 // CommLoadPerWorker implements Plan: r unit messages per worker.
 func (p *randomizedPlan) CommLoadPerWorker() float64 { return float64(p.r) }
 
-// Encode implements Plan: one unit message per assigned example.
-func (p *randomizedPlan) Encode(worker int, parts [][]float64) []Message {
+// EncodeInto implements Plan: one unit message per assigned example. The
+// partial gradients are copied into pooled payload buffers so the messages
+// never alias the caller's parts scratch.
+func (p *randomizedPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts("randomized", p.assign, worker, parts)
-	msgs := make([]Message, len(parts))
 	for k, g := range parts {
-		msgs[k] = Message{From: worker, Tag: p.assign[worker][k], Vec: g, Units: 1}
+		buf := grabBuf(bufs, len(g))
+		copy(buf, g)
+		dst = append(dst, Message{From: worker, Tag: p.assign[worker][k], Vec: buf, Units: 1})
 	}
-	return msgs
+	return dst
 }
 
 func (p *randomizedPlan) NewDecoder() Decoder {
@@ -95,7 +98,7 @@ func (p *randomizedPlan) NewDecoder() Decoder {
 		plan:    p,
 		tracker: coupon.NewTracker(p.m),
 		kept:    make([][]float64, p.m),
-		heard:   make(map[int]bool, p.n),
+		heard:   newWorkerMask(p.n),
 	}
 }
 
@@ -103,7 +106,7 @@ type randomizedDecoder struct {
 	plan    *randomizedPlan
 	tracker *coupon.Tracker
 	kept    [][]float64
-	heard   map[int]bool
+	heard   workerMask
 	units   float64
 }
 
@@ -111,9 +114,7 @@ func (d *randomizedDecoder) Offer(msg Message) bool {
 	if d.Decodable() {
 		return true
 	}
-	if !d.heard[msg.From] {
-		d.heard[msg.From] = true
-	}
+	d.heard.hear(msg.From)
 	d.units += msg.Units
 	if msg.Tag < 0 || msg.Tag >= d.plan.m {
 		panic(fmt.Sprintf("coding/randomized: message with invalid example tag %d", msg.Tag))
@@ -126,14 +127,25 @@ func (d *randomizedDecoder) Offer(msg Message) bool {
 
 func (d *randomizedDecoder) Decodable() bool { return d.tracker.Complete() }
 
-func (d *randomizedDecoder) Decode() ([]float64, error) {
+func (d *randomizedDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	return vecmath.SumVectors(d.kept), nil
+	vecmath.SumVectorsInto(dst, d.kept)
+	return nil
 }
 
-func (d *randomizedDecoder) WorkersHeard() int      { return len(d.heard) }
+func (d *randomizedDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *randomizedDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *randomizedDecoder) Reset() {
+	d.tracker.Reset()
+	for i := range d.kept {
+		d.kept[i] = nil
+	}
+	d.heard.reset()
+	d.units = 0
+}
 
 var _ Scheme = Randomized{}

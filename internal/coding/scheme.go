@@ -20,8 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
 )
 
 // Message is the payload one worker ships to the master in one iteration.
@@ -40,8 +42,20 @@ type Message struct {
 	Units float64
 }
 
+// Buffers supplies reusable payload buffers to EncodeInto so steady-state
+// encoding performs no heap allocations. Buf returns a length-n buffer with
+// ARBITRARY contents — encoders overwrite every element before the buffer
+// leaves them inside a Message. Implementations decide the recycling policy
+// (internal/cluster's BufferPool recycles gradient-sized buffers after the
+// master finishes each iteration); a nil Buffers means "allocate fresh".
+type Buffers interface {
+	Buf(n int) []float64
+}
+
 // Plan is a concrete placement + code for (m, n, r). Plans are safe for
-// concurrent read-only use; each training iteration creates its own Decoder.
+// concurrent use by multiple decoders (any internal decode caches are
+// synchronized); per-iteration mutable state lives in the Decoder, which is
+// reusable across iterations via Reset.
 type Plan interface {
 	// Scheme returns the scheme name this plan was built by.
 	Scheme() string
@@ -50,10 +64,14 @@ type Plan interface {
 	// Assignments returns, per worker, the example ids it processes. The
 	// returned slices must not be mutated.
 	Assignments() [][]int
-	// Encode turns a worker's partial gradients (parts[k] is the gradient of
-	// Assignments()[worker][k]) into the messages it transmits.
-	Encode(worker int, parts [][]float64) []Message
-	// NewDecoder returns fresh per-iteration decoding state.
+	// EncodeInto turns a worker's partial gradients (parts[k] is the
+	// gradient of Assignments()[worker][k]) into the messages it transmits,
+	// appending them to dst and returning the extended slice. Message
+	// payloads are drawn from bufs (nil = fresh allocations) and never alias
+	// parts, so callers may reuse the parts scratch immediately.
+	EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message
+	// NewDecoder returns decoding state sized for this plan. One decoder
+	// serves many iterations: call Reset between them.
 	NewDecoder() Decoder
 	// WorstCaseThreshold returns the number of workers that is ALWAYS
 	// sufficient to decode regardless of which workers respond, or -1 if no
@@ -69,16 +87,20 @@ type Plan interface {
 }
 
 // Decoder accumulates messages for one iteration until the total gradient
-// sum can be reconstructed.
+// sum can be reconstructed. Decoders borrow the payload buffers of offered
+// Messages until Reset is called (or DecodeInto returns, after which they
+// are only read again if DecodeInto is re-invoked); buffer owners must not
+// recycle a message's payload before the iteration's decode is finished.
 type Decoder interface {
 	// Offer feeds one message and reports whether the decoder is now able to
 	// decode. Offering after decodability is allowed and ignored.
 	Offer(msg Message) bool
-	// Decodable reports whether Decode will succeed.
+	// Decodable reports whether DecodeInto will succeed.
 	Decodable() bool
-	// Decode reconstructs sum_{j=1..m} g_j. It returns ErrNotDecodable if
-	// called early.
-	Decode() ([]float64, error)
+	// DecodeInto reconstructs sum_{j=1..m} g_j into dst (sized like one
+	// partial gradient), fully overwriting it. It returns ErrNotDecodable —
+	// leaving dst unspecified — if called early.
+	DecodeInto(dst []float64) error
 	// WorkersHeard returns the number of distinct workers whose messages
 	// arrived before (and including) the decodable point — the realized
 	// recovery threshold |W| of Definition 2.
@@ -86,6 +108,27 @@ type Decoder interface {
 	// UnitsReceived returns the accumulated communication load counted
 	// toward decoding (Definition 3).
 	UnitsReceived() float64
+	// Reset returns the decoder to its fresh state, dropping every reference
+	// to offered message buffers, so one decoder (and its internal storage)
+	// is reused across iterations.
+	Reset()
+}
+
+// Encode is the convenience form of Plan.EncodeInto for callers without
+// buffer reuse (experiments, tests): fresh message and payload allocations.
+func Encode(p Plan, worker int, parts [][]float64) []Message {
+	return p.EncodeInto(nil, worker, parts, nil)
+}
+
+// Decode is the convenience form of Decoder.DecodeInto: it allocates the
+// dim-sized output. dim must equal the payload dimension of the offered
+// messages.
+func Decode(d Decoder, dim int) ([]float64, error) {
+	out := make([]float64, dim)
+	if err := d.DecodeInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Scheme builds Plans for given problem sizes.
@@ -173,5 +216,141 @@ func checkParts(scheme string, assign [][]int, w int, parts [][]float64) {
 	if len(parts) != len(assign[w]) {
 		panic(fmt.Sprintf("coding/%s: worker %d got %d partial gradients for %d assigned examples",
 			scheme, w, len(parts), len(assign[w])))
+	}
+}
+
+// grabBuf draws a length-n payload buffer from bufs, falling back to a fresh
+// allocation when bufs is nil or returns a wrongly-sized buffer. Contents
+// are arbitrary; the encoder must overwrite every element.
+func grabBuf(bufs Buffers, n int) []float64 {
+	if bufs != nil {
+		if b := bufs.Buf(n); len(b) == n {
+			return b
+		}
+	}
+	return make([]float64, n)
+}
+
+// workerMask tracks the distinct workers heard from, allocation-free per
+// Offer (the map-based bookkeeping it replaces allocated on insert).
+type workerMask struct {
+	seen  []bool
+	count int
+}
+
+func newWorkerMask(n int) workerMask { return workerMask{seen: make([]bool, n)} }
+
+// hear marks worker w heard and reports whether it was new. Out-of-range
+// senders (defensive: a corrupted or malicious frame can carry any index)
+// are ignored rather than tracked — growing the mask to the claimed index
+// would let one bad frame force an arbitrarily large allocation, which the
+// map this replaced never did.
+func (m *workerMask) hear(w int) bool {
+	if w < 0 || w >= len(m.seen) || m.seen[w] {
+		return false
+	}
+	m.seen[w] = true
+	m.count++
+	return true
+}
+
+func (m *workerMask) reset() {
+	for i := range m.seen {
+		m.seen[i] = false
+	}
+	m.count = 0
+}
+
+// ---------------------------------------------------------------------------
+// Plan-level decode-coefficient cache
+// ---------------------------------------------------------------------------
+
+// solveCacheLimit bounds a plan's decode-coefficient cache. Stable
+// responder sets (the steady state of a run with deterministic latencies or
+// persistent stragglers) need a handful of entries; fully random arrival
+// sets could otherwise grow the cache without bound over long runs, so a
+// full cache is cleared wholesale — cheap, and the recurring sets repopulate
+// it immediately — instead of pinning whatever happened to arrive first.
+const solveCacheLimit = 128
+
+// solveCache memoizes decode coefficient solves keyed by the SET of
+// responding workers (sorted ids), with coefficients stored indexed by
+// worker id, so a linear system solved for one iteration's responder set is
+// never solved again — no matter in which order the same set arrives in
+// later iterations. It is owned by the Plan (one cache per plan) and
+// synchronized, which is what makes a Plan safe for concurrent decoders.
+// Failed solves (degenerate subsets below the effective threshold) are
+// cached too, so they are not retried every iteration either.
+type solveCache[T any] struct {
+	mu      sync.RWMutex
+	entries map[string]solveEntry[T]
+	solves  int // linear solves actually performed (cache misses)
+}
+
+type solveEntry[T any] struct {
+	// byWorker[w] is worker w's decode coefficient (meaningful only for the
+	// workers in the key's set); nil records a failed solve.
+	byWorker T
+	ok       bool
+}
+
+// get returns the cached solve outcome for the responder-set key, if any.
+func (c *solveCache[T]) get(key []byte) (T, bool, bool) {
+	c.mu.RLock()
+	e, hit := c.entries[string(key)] // no alloc: map lookup by []byte conversion
+	c.mu.RUnlock()
+	return e.byWorker, e.ok, hit
+}
+
+// put records a solve outcome, clearing the cache first if it is full.
+func (c *solveCache[T]) put(key []byte, byWorker T, ok bool) {
+	c.mu.Lock()
+	if c.entries == nil || len(c.entries) >= solveCacheLimit {
+		c.entries = make(map[string]solveEntry[T], 8)
+	}
+	c.solves++
+	c.entries[string(key)] = solveEntry[T]{byWorker: byWorker, ok: ok}
+	c.mu.Unlock()
+}
+
+// solveCount returns how many linear solves were performed (for tests).
+func (c *solveCache[T]) solveCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.solves
+}
+
+// setKey encodes the responder set as a cache key: workers are copied into
+// the sorted scratch, sorted in place, and serialized. Both scratch slices
+// are the decoder's, reused across iterations. The returned key aliases
+// keyBuf.
+func setKey(workers []int, sortBuf []int, keyBuf []byte) ([]int, []byte) {
+	sortBuf = append(sortBuf[:0], workers...)
+	sort.Ints(sortBuf)
+	keyBuf = keyBuf[:0]
+	for _, w := range sortBuf {
+		keyBuf = append(keyBuf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return sortBuf, keyBuf
+}
+
+// sumSparseInto folds the non-nil vectors of vs into dst in slot order,
+// fully overwriting dst (the in-place form of the "clone first, add rest"
+// fold the decoders previously allocated). It panics if every slot is nil.
+func sumSparseInto(dst []float64, vs [][]float64) {
+	first := true
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		if first {
+			copy(dst, v)
+			first = false
+		} else {
+			vecmath.AddInto(dst, v)
+		}
+	}
+	if first {
+		panic("coding: decode with no kept vectors")
 	}
 }

@@ -65,14 +65,16 @@ func (p *uncodedPlan) ExpectedThreshold() float64 {
 }
 func (p *uncodedPlan) CommLoadPerWorker() float64 { return 1 }
 
-// Encode implements Plan: one message carrying the sum of the worker's
+// EncodeInto implements Plan: one message carrying the sum of the worker's
 // partial gradients. Workers with no data transmit nothing.
-func (p *uncodedPlan) Encode(worker int, parts [][]float64) []Message {
+func (p *uncodedPlan) EncodeInto(dst []Message, worker int, parts [][]float64, bufs Buffers) []Message {
 	checkParts("uncoded", p.assign, worker, parts)
 	if len(parts) == 0 {
-		return nil
+		return dst
 	}
-	return []Message{{From: worker, Tag: worker, Vec: vecmath.SumVectors(parts), Units: 1}}
+	buf := grabBuf(bufs, len(parts[0]))
+	vecmath.SumVectorsInto(buf, parts)
+	return append(dst, Message{From: worker, Tag: worker, Vec: buf, Units: 1})
 }
 
 func (p *uncodedPlan) NewDecoder() Decoder {
@@ -100,27 +102,26 @@ func (d *uncodedDecoder) Offer(msg Message) bool {
 
 func (d *uncodedDecoder) Decodable() bool { return d.heard >= d.plan.holders }
 
-// Decode sums in worker-index order so the result is bit-for-bit identical
-// regardless of message arrival order.
-func (d *uncodedDecoder) Decode() ([]float64, error) {
+// DecodeInto sums in worker-index order so the result is bit-for-bit
+// identical regardless of message arrival order.
+func (d *uncodedDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
-		return nil, ErrNotDecodable
+		return ErrNotDecodable
 	}
-	var out []float64
-	for _, v := range d.got {
-		if v == nil {
-			continue
-		}
-		if out == nil {
-			out = vecmath.Clone(v)
-		} else {
-			vecmath.AddInto(out, v)
-		}
-	}
-	return out, nil
+	sumSparseInto(dst, d.got)
+	return nil
 }
 
 func (d *uncodedDecoder) WorkersHeard() int      { return d.heard }
 func (d *uncodedDecoder) UnitsReceived() float64 { return d.units }
+
+// Reset implements Decoder.
+func (d *uncodedDecoder) Reset() {
+	for i := range d.got {
+		d.got[i] = nil
+	}
+	d.heard = 0
+	d.units = 0
+}
 
 var _ Scheme = Uncoded{}

@@ -1,8 +1,11 @@
 // Package des is a small discrete-event simulation engine: a virtual clock
 // and an event heap with deterministic tie-breaking. The cluster simulator
-// (internal/cluster) runs the master/worker timing model on top of it, which
-// makes the paper's EC2 experiments reproducible in milliseconds of real
-// time instead of minutes of wall clock.
+// (internal/cluster) originally ran its timing model on this heap; its
+// one-upload-event-per-worker rounds now use an equivalent allocation-free
+// stable ordering instead (see internal/cluster/sim.go), and this engine
+// remains the general substrate for future event-driven runtimes
+// (asynchronous/SSP masters, event-coupled multi-round pipelines) whose
+// event sets are dynamic rather than known up front.
 package des
 
 import (

@@ -58,7 +58,7 @@ func MultiBatch(ctx context.Context, opt Options) (*Table, error) {
 				for kk, u := range assign[w] {
 					parts[kk] = gs[u]
 				}
-				for _, msg := range plan.Encode(w, parts) {
+				for _, msg := range coding.Encode(plan, w, parts) {
 					dec.Offer(msg)
 				}
 				if dec.Decodable() {

@@ -113,7 +113,7 @@ func measureUnits(scheme string, m, n, r, trials int, rng *rngutil.RNG) (float64
 			for kk, u := range assign[w] {
 				parts[kk] = gs[u]
 			}
-			for _, msg := range plan.Encode(w, parts) {
+			for _, msg := range coding.Encode(plan, w, parts) {
 				dec.Offer(msg)
 			}
 			if dec.Decodable() {

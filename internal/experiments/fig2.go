@@ -110,11 +110,11 @@ func decodeThreshold(plan coding.Plan, gs [][]float64, order []int) (int, error)
 		for k, u := range assign[w] {
 			parts[k] = gs[u]
 		}
-		for _, msg := range plan.Encode(w, parts) {
+		for _, msg := range coding.Encode(plan, w, parts) {
 			dec.Offer(msg)
 		}
 		if dec.Decodable() {
-			out, err := dec.Decode()
+			out, err := coding.Decode(dec, 1)
 			if err != nil {
 				return 0, err
 			}

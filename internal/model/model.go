@@ -32,20 +32,34 @@ type Model interface {
 
 // FullGradient evaluates the normalized full gradient (1/d) sum_j g_j(w).
 func FullGradient(m Model, w []float64) []float64 {
-	rows := allRows(m.NumExamples())
 	out := make([]float64, m.Dim())
+	FullGradientInto(m, w, out, nil)
+	return out
+}
+
+// FullGradientInto evaluates the normalized full gradient (1/d) sum_j g_j(w)
+// into out (length Dim(), fully overwritten). rows is optional scratch: pass
+// AllRows(m.NumExamples()) — typically held across calls — to avoid
+// reallocating the row list per evaluation; nil allocates one internally.
+func FullGradientInto(m Model, w, out []float64, rows []int) {
+	if rows == nil {
+		rows = AllRows(m.NumExamples())
+	}
+	vecmath.Fill(out, 0)
 	m.SubsetGradient(w, rows, out)
 	vecmath.Scale(1/float64(m.NumExamples()), out)
-	return out
 }
 
 // FullLoss evaluates the normalized empirical risk (1/d) sum_j ell_j(w).
 func FullLoss(m Model, w []float64) float64 {
-	rows := allRows(m.NumExamples())
+	rows := AllRows(m.NumExamples())
 	return m.SubsetLoss(w, rows) / float64(m.NumExamples())
 }
 
-func allRows(n int) []int {
+// AllRows returns the identity row list [0, 1, ..., n). Callers evaluating
+// full gradients or losses in a loop hold one AllRows slice as scratch for
+// the *Into entry points.
+func AllRows(n int) []int {
 	rows := make([]int, n)
 	for i := range rows {
 		rows[i] = i

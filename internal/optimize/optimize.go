@@ -161,3 +161,21 @@ func Run(opt Optimizer, fn GradFn, iters int) []float64 {
 	}
 	return vecmath.Clone(opt.Iterate())
 }
+
+// GradIntoFn evaluates a full (normalized) gradient at w into out, fully
+// overwriting it.
+type GradIntoFn func(w, out []float64)
+
+// RunInPlace performs `iters` optimizer iterations like Run but reuses one
+// gradient buffer of length dim across all steps instead of allocating per
+// step; fn writes each gradient into that buffer. The update sequence is
+// identical to Run's, so the returned iterate is bit-for-bit the same for
+// equivalent gradient functions.
+func RunInPlace(opt Optimizer, fn GradIntoFn, dim, iters int) []float64 {
+	g := make([]float64, dim)
+	for i := 0; i < iters; i++ {
+		fn(opt.Query(), g)
+		opt.Update(g)
+	}
+	return vecmath.Clone(opt.Iterate())
+}

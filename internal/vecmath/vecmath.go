@@ -176,26 +176,46 @@ func (m *Matrix) Clone() *Matrix {
 // Gemv computes y = A*x for a row-major matrix A. It panics on dimension
 // mismatch. The returned slice is freshly allocated.
 func Gemv(a *Matrix, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	GemvInto(y, a, x)
+	return y
+}
+
+// GemvInto computes dst = A*x in place, fully overwriting dst. It panics on
+// dimension mismatch. This is the allocation-free form of Gemv for callers
+// that hold a reusable output buffer.
+func GemvInto(dst []float64, a *Matrix, x []float64) {
 	if a.Cols != len(x) {
 		panic(fmt.Sprintf("vecmath: Gemv dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
 	}
-	y := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		y[i] = Dot(a.Row(i), x)
+	if len(dst) != a.Rows {
+		panic(fmt.Sprintf("vecmath: GemvInto output length %d != %d rows", len(dst), a.Rows))
 	}
-	return y
+	for i := 0; i < a.Rows; i++ {
+		dst[i] = Dot(a.Row(i), x)
+	}
 }
 
 // GemvT computes y = A^T*x. It panics on dimension mismatch.
 func GemvT(a *Matrix, x []float64) []float64 {
+	y := make([]float64, a.Cols)
+	GemvTInto(y, a, x)
+	return y
+}
+
+// GemvTInto computes dst = A^T*x in place, fully overwriting dst. It panics
+// on dimension mismatch.
+func GemvTInto(dst []float64, a *Matrix, x []float64) {
 	if a.Rows != len(x) {
 		panic(fmt.Sprintf("vecmath: GemvT dimension mismatch %dx%d ^T * %d", a.Rows, a.Cols, len(x)))
 	}
-	y := make([]float64, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		Axpy(x[i], a.Row(i), y)
+	if len(dst) != a.Cols {
+		panic(fmt.Sprintf("vecmath: GemvTInto output length %d != %d cols", len(dst), a.Cols))
 	}
-	return y
+	Fill(dst, 0)
+	for i := 0; i < a.Rows; i++ {
+		Axpy(x[i], a.Row(i), dst)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -270,11 +290,27 @@ func SumVectors(vs [][]float64) []float64 {
 	if len(vs) == 0 {
 		panic("vecmath: SumVectors of empty set")
 	}
-	out := Clone(vs[0])
-	for _, v := range vs[1:] {
-		AddInto(out, v)
-	}
+	out := make([]float64, len(vs[0]))
+	SumVectorsInto(out, vs)
 	return out
+}
+
+// SumVectorsInto computes the element-wise sum of vs into dst, fully
+// overwriting it (dst's prior contents are irrelevant, so pooled buffers can
+// be passed directly). The vectors are folded in slice order, so the result
+// is bit-for-bit identical to SumVectors. It panics if vs is empty or any
+// length disagrees with dst.
+func SumVectorsInto(dst []float64, vs [][]float64) {
+	if len(vs) == 0 {
+		panic("vecmath: SumVectorsInto of empty set")
+	}
+	if len(dst) != len(vs[0]) {
+		panic(fmt.Sprintf("vecmath: SumVectorsInto output length %d != %d", len(dst), len(vs[0])))
+	}
+	copy(dst, vs[0])
+	for _, v := range vs[1:] {
+		AddInto(dst, v)
+	}
 }
 
 // LinearCombination returns sum_i coeffs[i]*vs[i]. It panics if the slice
@@ -285,12 +321,27 @@ func LinearCombination(coeffs []float64, vs [][]float64) []float64 {
 	if len(vs) == 0 {
 		panic("vecmath: LinearCombination of empty set")
 	}
-	if len(coeffs) != len(vs) {
-		panic(fmt.Sprintf("vecmath: LinearCombination arity mismatch %d vs %d", len(coeffs), len(vs)))
-	}
 	out := make([]float64, len(vs[0]))
-	for i, v := range vs {
-		Axpy(coeffs[i], v, out)
-	}
+	LinearCombinationInto(out, coeffs, vs)
 	return out
+}
+
+// LinearCombinationInto computes sum_i coeffs[i]*vs[i] into dst, fully
+// overwriting it. The accumulation starts from zero and folds terms in slice
+// order — the same operation sequence as LinearCombination, so results are
+// bit-for-bit identical. It panics on arity or length mismatches.
+func LinearCombinationInto(dst []float64, coeffs []float64, vs [][]float64) {
+	if len(vs) == 0 {
+		panic("vecmath: LinearCombinationInto of empty set")
+	}
+	if len(coeffs) != len(vs) {
+		panic(fmt.Sprintf("vecmath: LinearCombinationInto arity mismatch %d vs %d", len(coeffs), len(vs)))
+	}
+	if len(dst) != len(vs[0]) {
+		panic(fmt.Sprintf("vecmath: LinearCombinationInto output length %d != %d", len(dst), len(vs[0])))
+	}
+	Fill(dst, 0)
+	for i, v := range vs {
+		Axpy(coeffs[i], v, dst)
+	}
 }

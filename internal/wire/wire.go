@@ -37,6 +37,19 @@ const nilLen = ^uint32(0)
 // length prefix from provoking a huge allocation (64 Mi floats = 512 MiB).
 const maxVecLen = 64 << 20
 
+// vecChunk is the number of float64 words moved per bulk read/write through
+// the codec's byte scratch (4 KiB): large enough to amortize the copy, small
+// enough that the per-codec scratch stays modest and a corrupt length prefix
+// cannot force a huge transient buffer.
+const vecChunk = 512
+
+// VecAlloc supplies payload buffers to the reader's *Into entry points so
+// steady-state deserialization reuses pooled memory. It returns a length-n
+// buffer with arbitrary contents (the reader overwrites every element); a
+// nil VecAlloc — or a wrongly-sized return — falls back to a fresh
+// allocation.
+type VecAlloc func(n int) []float64
+
 // Hello is the handshake frame body.
 type Hello struct {
 	Worker int
@@ -70,6 +83,7 @@ type Reply struct {
 type Writer struct {
 	bw      *bufio.Writer
 	scratch [8]byte
+	vbuf    []byte // bulk float64 staging, grown to at most vecChunk*8
 }
 
 // NewWriter wraps w.
@@ -95,6 +109,9 @@ func (w *Writer) f64(v float64) error {
 	return err
 }
 
+// vec writes a length-prefixed float64 slice, staging whole chunks through
+// the byte scratch so each chunk is one bufio write instead of one write per
+// word (the dominant cost on gradient-sized payloads).
 func (w *Writer) vec(v []float64) error {
 	if v == nil {
 		return w.u32(nilLen)
@@ -102,10 +119,22 @@ func (w *Writer) vec(v []float64) error {
 	if err := w.u32(uint32(len(v))); err != nil {
 		return err
 	}
-	for _, x := range v {
-		if err := w.f64(x); err != nil {
+	for len(v) > 0 {
+		n := len(v)
+		if n > vecChunk {
+			n = vecChunk
+		}
+		if cap(w.vbuf) < n*8 {
+			w.vbuf = make([]byte, vecChunk*8)
+		}
+		buf := w.vbuf[:n*8]
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v[i]))
+		}
+		if _, err := w.bw.Write(buf); err != nil {
 			return err
 		}
+		v = v[n:]
 	}
 	return nil
 }
@@ -176,6 +205,7 @@ func (w *Writer) WriteReply(r Reply) error {
 type Reader struct {
 	br      *bufio.Reader
 	scratch [8]byte
+	vbuf    []byte // bulk float64 staging, grown to at most vecChunk*8
 }
 
 // NewReader wraps r.
@@ -204,7 +234,12 @@ func (r *Reader) f64() (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(r.scratch[:8])), nil
 }
 
-func (r *Reader) vec() ([]float64, error) {
+func (r *Reader) vec() ([]float64, error) { return r.vecAlloc(nil) }
+
+// vecAlloc reads a length-prefixed float64 slice, drawing the destination
+// from alloc (nil or wrong-sized result = fresh allocation) and moving whole
+// chunks through the byte scratch with one ReadFull per chunk.
+func (r *Reader) vecAlloc(alloc VecAlloc) ([]float64, error) {
 	n, err := r.u32()
 	if err != nil {
 		return nil, err
@@ -215,11 +250,31 @@ func (r *Reader) vec() ([]float64, error) {
 	if n > maxVecLen {
 		return nil, fmt.Errorf("wire: vector length %d exceeds limit", n)
 	}
-	v := make([]float64, n)
-	for i := range v {
-		if v[i], err = r.f64(); err != nil {
+	var v []float64
+	if alloc != nil {
+		v = alloc(int(n))
+	}
+	if len(v) != int(n) || v == nil {
+		// make([]float64, 0) is non-nil: an empty wire vector must stay
+		// distinguishable from the nilLen sentinel after a round trip.
+		v = make([]float64, n)
+	}
+	for rem := v; len(rem) > 0; {
+		k := len(rem)
+		if k > vecChunk {
+			k = vecChunk
+		}
+		if cap(r.vbuf) < k*8 {
+			r.vbuf = make([]byte, vecChunk*8)
+		}
+		buf := r.vbuf[:k*8]
+		if _, err := io.ReadFull(r.br, buf); err != nil {
 			return nil, err
 		}
+		for i := 0; i < k; i++ {
+			rem[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		rem = rem[k:]
 	}
 	return v, nil
 }
@@ -260,49 +315,67 @@ func (r *Reader) ReadModel() (Model, error) {
 
 // ReadReply decodes a reply body (after NextKind returned KindReply).
 func (r *Reader) ReadReply() (Reply, error) {
+	var rep Reply
+	err := r.ReadReplyInto(&rep, nil)
+	return rep, err
+}
+
+// ReadReplyInto decodes a reply body into rep, reusing rep's Msgs backing
+// array when it has capacity and drawing payload buffers from alloc — the
+// buffer-reuse read path the TCP master uses to deserialize replies straight
+// into pooled gradient buffers. alloc may be nil (fresh allocations). On
+// error rep's contents are unspecified. Nil vectors on the wire (the nilLen
+// sentinel) decode to nil without consulting alloc.
+func (r *Reader) ReadReplyInto(rep *Reply, alloc VecAlloc) error {
 	iter, err := r.i64()
 	if err != nil {
-		return Reply{}, err
+		return err
 	}
 	worker, err := r.u32()
 	if err != nil {
-		return Reply{}, err
+		return err
 	}
 	compute, err := r.f64()
 	if err != nil {
-		return Reply{}, err
+		return err
 	}
 	nmsgs, err := r.u32()
 	if err != nil {
-		return Reply{}, err
+		return err
 	}
 	if nmsgs > 1<<20 {
-		return Reply{}, fmt.Errorf("wire: message count %d exceeds limit", nmsgs)
+		return fmt.Errorf("wire: message count %d exceeds limit", nmsgs)
 	}
-	rep := Reply{Iter: int(iter), Worker: int(worker), Compute: compute}
-	rep.Msgs = make([]Msg, nmsgs)
+	rep.Iter = int(iter)
+	rep.Worker = int(worker)
+	rep.Compute = compute
+	if cap(rep.Msgs) < int(nmsgs) {
+		rep.Msgs = make([]Msg, nmsgs)
+	} else {
+		rep.Msgs = rep.Msgs[:nmsgs]
+	}
 	for i := range rep.Msgs {
 		from, err := r.u32()
 		if err != nil {
-			return Reply{}, err
+			return err
 		}
 		tag, err := r.i64()
 		if err != nil {
-			return Reply{}, err
+			return err
 		}
 		units, err := r.f64()
 		if err != nil {
-			return Reply{}, err
+			return err
 		}
-		vec, err := r.vec()
+		vec, err := r.vecAlloc(alloc)
 		if err != nil {
-			return Reply{}, err
+			return err
 		}
-		imag, err := r.vec()
+		imag, err := r.vecAlloc(alloc)
 		if err != nil {
-			return Reply{}, err
+			return err
 		}
 		rep.Msgs[i] = Msg{From: int(from), Tag: int(tag), Units: units, Vec: vec, Imag: imag}
 	}
-	return rep, nil
+	return nil
 }
