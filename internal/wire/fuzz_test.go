@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bcc/internal/rngutil"
+)
+
+// FuzzReplyRoundTrip mirrors internal/coding's property fuzzing for the
+// codec: pseudo-random reply frames — including the nil-vector sentinel and
+// empty vectors — must round-trip bit-exactly through the buffer-reuse read
+// path (ReadReplyInto with a recycling allocator and a reused Reply
+// scratch), and the pooled read must agree with the plain ReadReply.
+func FuzzReplyRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint16(4), false, false)
+	f.Add(uint64(2), uint8(3), uint16(0), true, false)
+	f.Add(uint64(3), uint8(0), uint16(9), false, true)
+	f.Add(uint64(4), uint8(5), uint16(700), true, true)
+	f.Fuzz(func(t *testing.T, seed uint64, nmsgs uint8, dim uint16, nilVec, nilImag bool) {
+		rng := rngutil.New(seed)
+		if dim > 2048 {
+			dim = dim % 2048
+		}
+		mk := func() Reply {
+			rep := Reply{
+				Iter:    int(rng.Intn(1 << 20)),
+				Worker:  int(rng.Intn(1 << 10)),
+				Compute: rng.Float64(),
+				Msgs:    make([]Msg, int(nmsgs)),
+			}
+			for i := range rep.Msgs {
+				m := Msg{
+					From:  int(rng.Intn(1 << 10)),
+					Tag:   int(rng.Intn(1<<12)) - 1,
+					Units: rng.Float64(),
+				}
+				if !nilVec {
+					m.Vec = make([]float64, dim)
+					for j := range m.Vec {
+						m.Vec[j] = rng.Normal()
+					}
+				}
+				if !nilImag {
+					m.Imag = make([]float64, dim)
+					for j := range m.Imag {
+						m.Imag[j] = rng.Normal()
+					}
+				}
+				rep.Msgs[i] = m
+			}
+			return rep
+		}
+		first, second := mk(), mk()
+
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, rep := range []Reply{first, second} {
+			if err := w.WriteReply(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// A recycling allocator: buffers released after the first read are
+		// reused for the second, exercising the "pooled buffer with stale
+		// contents" path end to end.
+		var free [][]float64
+		alloc := func(n int) []float64 {
+			for i, b := range free {
+				if len(b) == n {
+					free = append(free[:i], free[i+1:]...)
+					return b
+				}
+			}
+			return make([]float64, n)
+		}
+		release := func(rep *Reply) {
+			for _, m := range rep.Msgs {
+				if m.Vec != nil {
+					free = append(free, m.Vec)
+				}
+				if m.Imag != nil {
+					free = append(free, m.Imag)
+				}
+			}
+		}
+
+		r := NewReader(&buf)
+		var got Reply // reused scratch across both reads
+		for _, want := range []Reply{first, second} {
+			if k, err := r.NextKind(); err != nil || k != KindReply {
+				t.Fatalf("NextKind = %v, %v", k, err)
+			}
+			if err := r.ReadReplyInto(&got, alloc); err != nil {
+				t.Fatal(err)
+			}
+			checkReplyEqual(t, &got, &want)
+			release(&got)
+		}
+
+		// The plain (allocating) path must agree with the pooled one.
+		buf.Reset()
+		w2 := NewWriter(&buf)
+		if err := w2.WriteReply(first); err != nil {
+			t.Fatal(err)
+		}
+		r2 := NewReader(&buf)
+		if _, err := r2.NextKind(); err != nil {
+			t.Fatal(err)
+		}
+		plain, err := r2.ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkReplyEqual(t, &plain, &first)
+	})
+}
+
+func checkReplyEqual(t *testing.T, got, want *Reply) {
+	t.Helper()
+	if got.Iter != want.Iter || got.Worker != want.Worker ||
+		math.Float64bits(got.Compute) != math.Float64bits(want.Compute) {
+		t.Fatalf("header mismatch: got %+v want %+v", got, want)
+	}
+	if len(got.Msgs) != len(want.Msgs) {
+		t.Fatalf("message count %d != %d", len(got.Msgs), len(want.Msgs))
+	}
+	for i := range want.Msgs {
+		g, w := got.Msgs[i], want.Msgs[i]
+		if g.From != w.From || g.Tag != w.Tag || math.Float64bits(g.Units) != math.Float64bits(w.Units) {
+			t.Fatalf("msg %d header mismatch: got %+v want %+v", i, g, w)
+		}
+		checkVecEqual(t, i, "vec", g.Vec, w.Vec)
+		checkVecEqual(t, i, "imag", g.Imag, w.Imag)
+	}
+}
+
+func checkVecEqual(t *testing.T, i int, which string, got, want []float64) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("msg %d %s nil-ness changed: got nil=%v want nil=%v", i, which, got == nil, want == nil)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("msg %d %s length %d != %d", i, which, len(got), len(want))
+	}
+	for j := range want {
+		if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+			t.Fatalf("msg %d %s[%d] = %x want %x", i, which, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+		}
+	}
+}
