@@ -9,6 +9,7 @@ import (
 	"bcc/internal/core"
 	"bcc/internal/coupon"
 	"bcc/internal/experiments"
+	"bcc/internal/faults"
 	"bcc/internal/hetero"
 	"bcc/internal/rngutil"
 	"bcc/internal/trace"
@@ -46,6 +47,13 @@ type IterStats = cluster.IterStats
 // gradient is still unrecoverable (too many failures for the scheme's
 // redundancy). Test with errors.Is.
 var ErrStalled = cluster.ErrStalled
+
+// ErrBelowThreshold is returned when dead workers or the fault plan leave
+// an iteration with fewer reachable workers than the scheme can possibly
+// decode from: the run degrades explicitly before the doomed iteration,
+// keeping the completed iterations as a partial Result. It also matches
+// ErrStalled under errors.Is.
+var ErrBelowThreshold = cluster.ErrBelowThreshold
 
 // NewJob generates the synthetic dataset of the paper's §III-C and
 // materializes a training job for the given spec. Misconfigured options —
@@ -136,6 +144,51 @@ type DecodeEvent = cluster.DecodeEvent
 
 // CombineObservers fans callbacks out to several observers in order.
 func CombineObservers(obs ...Observer) Observer { return cluster.MultiObserver(obs...) }
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+// FaultPlan deterministically schedules per-worker, per-iteration fault
+// events — crashes and restarts, transient slowdown windows, master-side
+// partition windows and correlated drop bursts — all derived from a single
+// seed, so the sim, live and tcp runtimes replay identical fault sequences.
+// Set one on Spec.Faults (or name a library scenario via
+// Spec.FaultScenario). Scheduled events reach Spec.Observer through
+// OnWorkerFault.
+type FaultPlan = faults.Plan
+
+// The FaultPlan rule types: FaultCrash takes a worker down at an iteration
+// (permanently, or restarting after k iterations), FaultSlowdown multiplies
+// a worker's compute/upload latency inside (optionally recurring) iteration
+// windows, FaultPartition makes a contiguous worker range unreachable from
+// the master for an iteration span, and FaultDropBursts injects correlated
+// message-loss bursts.
+type (
+	FaultCrash      = faults.Crash
+	FaultSlowdown   = faults.Slowdown
+	FaultPartition  = faults.Partition
+	FaultDropBursts = faults.DropBursts
+)
+
+// FaultEvent is one entry of a run's deterministic fault-event trace,
+// delivered to Observer.OnWorkerFault.
+type FaultEvent = faults.Event
+
+// FaultScenarios lists the named fault-scenario library: steady,
+// burst-drop, flaky-tail, partition, rolling-restart, slow-decile.
+func FaultScenarios() []string { return faults.Names() }
+
+// FaultScenario builds a library scenario's plan for an n-worker cluster;
+// the schedule is fully determined by (name, n, seed). DescribeFaultScenario
+// returns its one-line description.
+func FaultScenario(name string, n int, seed uint64) (*FaultPlan, error) {
+	return faults.Scenario(name, n, seed)
+}
+
+// DescribeFaultScenario returns a named scenario's one-line description
+// ("" for unknown names).
+func DescribeFaultScenario(name string) string { return faults.Describe(name) }
 
 // ---------------------------------------------------------------------------
 // Schemes

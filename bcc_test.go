@@ -252,3 +252,61 @@ func TestTypedOptionConstants(t *testing.T) {
 		t.Fatalf("registries: %v %v", Runtimes(), Optimizers())
 	}
 }
+
+// TestFaultInjectionPublicAPI exercises the exported fault-injection
+// surface: the scenario library listing, training under a named scenario
+// and under a hand-built FaultPlan, the OnWorkerFault observer stream, and
+// the explicit ErrBelowThreshold degradation.
+func TestFaultInjectionPublicAPI(t *testing.T) {
+	names := FaultScenarios()
+	if len(names) != 6 {
+		t.Fatalf("scenario library: %v, want 6 entries", names)
+	}
+	for _, name := range names {
+		if DescribeFaultScenario(name) == "" {
+			t.Fatalf("scenario %q has no description", name)
+		}
+	}
+	if _, err := FaultScenario("nope", 8, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+
+	var events []FaultEvent
+	res, err := Train(Spec{
+		Examples: 8, Workers: 8, Load: 4,
+		DataPoints: 64, Dim: 16,
+		Iterations: 6, Seed: 3,
+		FaultScenario: "rolling-restart",
+		Observer: ObserverFuncs{Fault: func(ev FaultEvent) {
+			events = append(events, ev)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) != 6 {
+		t.Fatalf("faulted run recorded %d iterations", len(res.Iters))
+	}
+	if len(events) == 0 {
+		t.Fatal("no fault events observed")
+	}
+
+	// A hand-built plan crashing the whole cluster mid-run degrades
+	// explicitly with the exported sentinel (which wraps ErrStalled).
+	plan := &FaultPlan{N: 8}
+	for w := 0; w < 8; w++ {
+		plan.Crashes = append(plan.Crashes, FaultCrash{Worker: w, At: 2})
+	}
+	res, err = Train(Spec{
+		Examples: 8, Workers: 8, Load: 4,
+		DataPoints: 64, Dim: 16,
+		Iterations: 6, Seed: 3,
+		Faults: plan,
+	})
+	if !errors.Is(err, ErrBelowThreshold) || !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrBelowThreshold wrapping ErrStalled", err)
+	}
+	if res == nil || len(res.Iters) != 2 {
+		t.Fatalf("partial result %+v, want the 2 pre-crash iterations", res)
+	}
+}

@@ -394,6 +394,30 @@ func BenchmarkSimIteration(b *testing.B) {
 	_ = job
 }
 
+// BenchmarkSimIterationFaults is BenchmarkSimIteration under an active
+// fault scenario: it reports how much the per-iteration fault bookkeeping
+// (plan queries, reachable-worker accounting, slowdown-wrapped latency)
+// adds on top of the fault-free baseline, and its allocs/op pins the fault
+// path staying allocation-clean in steady state.
+func BenchmarkSimIterationFaults(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fresh, err := core.NewJob(core.Spec{
+			Examples: 50, Workers: 50, Load: 10,
+			DataPoints: 500, Dim: 256, Iterations: 10, Seed: 4,
+			FaultScenario: "flaky-tail",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := fresh.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCouponSimulate measures the classic collector simulation used
 // throughout the Monte-Carlo validations.
 func BenchmarkCouponSimulate(b *testing.B) {

@@ -23,10 +23,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"bcc/internal/cluster"
 	"bcc/internal/core"
+	"bcc/internal/faults"
 )
 
 func main() {
@@ -51,6 +53,8 @@ func main() {
 		pipe     = fs.Bool("pipelined", false, "pipelined iterations: cancel stale in-flight work on a fresher query (must match across processes)")
 		drop     = fs.Float64("drop", 0, "master-side probability in [0,1) of losing each worker transmission")
 		dropSeed = fs.Uint64("drop-seed", 0, "seed for the -drop fault pattern (master role only)")
+		faultsN  = fs.String("faults", "", "named fault scenario: "+strings.Join(faults.Names(), "|")+" (must match across processes)")
+		faultSd  = fs.Uint64("fault-seed", 0, "seed for the -faults scenario (0 = derive from -seed; must match across processes)")
 		parallel = fs.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
 		progress = fs.Bool("progress", false, "master: print a live per-iteration progress line")
 	)
@@ -58,16 +62,19 @@ func main() {
 		fail(err)
 	}
 
-	// Both roles rebuild the identical job from the shared seed.
+	// Both roles rebuild the identical job — data, placement and fault
+	// schedule — from the shared seeds.
 	job, err := core.NewJob(core.Spec{
-		DataPoints: *m * *points,
-		Dim:        *dim,
-		Examples:   *m,
-		Workers:    *n,
-		Load:       *r,
-		Scheme:     core.Scheme(*scheme),
-		Iterations: *iters,
-		Seed:       *seed,
+		DataPoints:    *m * *points,
+		Dim:           *dim,
+		Examples:      *m,
+		Workers:       *n,
+		Load:          *r,
+		Scheme:        core.Scheme(*scheme),
+		Iterations:    *iters,
+		Seed:          *seed,
+		FaultScenario: *faultsN,
+		FaultSeed:     *faultSd,
 	})
 	if err != nil {
 		fail(err)
@@ -95,6 +102,7 @@ func main() {
 			Pipelined:          *pipe,
 			DropProb:           *drop,
 			DropSeed:           *dropSeed,
+			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
 		}
 		if *progress {
@@ -126,6 +134,7 @@ func main() {
 			Latency:            cluster.Zero{},
 			TimeScale:          1,
 			Codec:              *codec,
+			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
 			Pipelined:          *pipe,
 		}

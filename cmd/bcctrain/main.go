@@ -13,8 +13,9 @@
 //
 //	bcctrain -scheme bcc -m 50 -n 50 -r 10 -iters 100 -ec2
 //	bcctrain -scheme cyclicrep -m 20 -n 20 -r 5 -runtime tcp -progress
-//	bcctrain -scheme uncoded -m 20 -n 20 -dead 3,7    # watch it stall
+//	bcctrain -scheme uncoded -m 20 -n 20 -dead 3,7    # fails fast: below the decodable threshold
 //	bcctrain -ec2 -timeout 5s                         # partial results at the deadline
+//	bcctrain -faults rolling-restart -progress        # deterministic fault scenario
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"bcc/internal/cluster"
 	"bcc/internal/core"
 	"bcc/internal/experiments"
+	"bcc/internal/faults"
 	"bcc/internal/rngutil"
 	"bcc/internal/trace"
 )
@@ -52,6 +54,8 @@ func main() {
 		dead     = flag.String("dead", "", "comma-separated worker indices that never respond")
 		drop     = flag.Float64("drop", 0, "probability in [0,1) of losing each worker transmission")
 		dropSeed = flag.Uint64("drop-seed", 0, "seed for the -drop fault pattern (0 = default)")
+		faultsN  = flag.String("faults", "", "named fault scenario: "+strings.Join(faults.Names(), "|"))
+		faultSd  = flag.Uint64("fault-seed", 0, "seed for the -faults scenario (0 = derive from -seed)")
 		parallel = flag.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
 		timeout  = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); on expiry partial stats are printed")
 		progress = flag.Bool("progress", false, "print a live per-iteration progress line (iter, workers heard, grad norm)")
@@ -79,6 +83,8 @@ func main() {
 		Pipelined:          *pipe,
 		DropProb:           *drop,
 		DropSeed:           *dropSeed,
+		FaultScenario:      *faultsN,
+		FaultSeed:          *faultSd,
 		ComputeParallelism: *parallel,
 		GradNormTol:        *gradTol,
 		LossEvery:          *lossEv,
@@ -101,9 +107,14 @@ func main() {
 		}
 	}
 	if *progress {
-		spec.Observer = cluster.ObserverFuncs{Iteration: func(st cluster.IterStats) {
-			fmt.Printf("iter %4d  wall %8.4fs  K %-4d |grad| %.4e\n", st.Iter, st.Wall, st.WorkersHeard, st.GradNorm)
-		}}
+		spec.Observer = cluster.ObserverFuncs{
+			Iteration: func(st cluster.IterStats) {
+				fmt.Printf("iter %4d  wall %8.4fs  K %-4d |grad| %.4e\n", st.Iter, st.Wall, st.WorkersHeard, st.GradNorm)
+			},
+			Fault: func(ev faults.Event) {
+				fmt.Printf("fault %s\n", ev)
+			},
+		}
 	}
 	if *ckptEv > 0 {
 		if *ckptOut == "" {

@@ -76,6 +76,35 @@
 //     crashed run resumes from the newest checkpoint via
 //     Job.RestoreCheckpoint, bit-for-bit.
 //
+// # Fault injection: deterministic and replayable
+//
+// Beyond the simple knobs (Spec.Dead never-responding workers,
+// Spec.DropProb i.i.d. message loss), a FaultPlan on Spec.Faults schedules
+// rich per-worker, per-iteration fault events: crashes with optional
+// restart-after-k (FaultCrash), transient — optionally recurring —
+// slowdown windows multiplying a worker's compute/upload latency
+// (FaultSlowdown), master-side partition windows over contiguous worker
+// ranges (FaultPartition), and correlated drop bursts (FaultDropBursts).
+// Every decision is a pure function of the plan's rules and a single seed
+// — nothing is drawn at query time — so the sim, live and tcp runtimes
+// replay bit-identical fault sequences, which the scenario conformance
+// suite pins (identical iterates and fault-event traces across runtimes,
+// barrier and pipelined).
+//
+// Spec.FaultScenario selects a named scenario from the library instead:
+// steady, slow-decile, flaky-tail, rolling-restart, partition, burst-drop
+// (FaultScenarios lists them; bcctrain/bcccluster expose them as -faults).
+// A scenario is built for the job's cluster size from (name, n, seed), so
+// separate processes holding the same flags agree on the schedule.
+//
+// Scheduled events are delivered to Observer.OnWorkerFault as FaultEvents
+// in a deterministic order. When faults leave an iteration with fewer
+// reachable workers than the scheme can possibly decode from (the
+// converse bound coding.MinResponders), the run degrades explicitly:
+// ErrBelowThreshold (wrapping ErrStalled), the completed iterations as a
+// partial Result, and a "degraded" fault event — instead of wedging the
+// transport until its timeout.
+//
 // Scheme, Optimizer and Runtime are typed option values with declared
 // constants (SchemeBCC, OptimizerNesterov, RuntimeSim, ...) validated
 // against their registries at NewJob time; any misconfiguration — unknown

@@ -48,6 +48,10 @@ func main() {
 			case err == nil:
 				fmt.Printf("%-12s %-8d trained (avg K %.1f, accuracy %.3f)\n",
 					scheme, nDead, res.AvgWorkersHeard, trainAccuracy(scheme, m, n, r, dead))
+			case errors.Is(err, bcc.ErrBelowThreshold):
+				// Provably unrecoverable: the engine degrades before running
+				// the doomed iteration rather than waiting out a stall.
+				fmt.Printf("%-12s %-8d DEGRADED: below the scheme's decodable minimum (fail-fast)\n", scheme, nDead)
 			case errors.Is(err, bcc.ErrStalled):
 				fmt.Printf("%-12s %-8d STALLED: gradient unrecoverable\n", scheme, nDead)
 			default:
@@ -59,6 +63,24 @@ func main() {
 	fmt.Println("cyclicrep survives exactly s = r-1 = 2 failures (worst-case design);")
 	fmt.Println("bcc survives any failures that leave every batch covered — usually more,")
 	fmt.Println("with no prior knowledge of the straggler count (the paper's universality).")
+
+	// Dynamic faults: a named FaultPlan scenario replays a deterministic
+	// crash/restart schedule identically on every runtime; the observer
+	// streams the fault events as they take effect.
+	fmt.Println("\nrolling-restart scenario on bcc (deterministic crash/restart schedule):")
+	res, err := bcc.Train(bcc.Spec{
+		Examples: m, Workers: n, Load: r, Scheme: bcc.SchemeBCC,
+		DataPoints: m * 8, Dim: 100, Iterations: 20, Seed: 11,
+		FaultScenario: "rolling-restart",
+		Observer: bcc.ObserverFuncs{
+			Fault: func(ev bcc.FaultEvent) { fmt.Printf("  %s\n", ev) },
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained through the restarts: avg K %.1f over %d iterations\n",
+		res.AvgWorkersHeard, len(res.Iters))
 }
 
 // trainAccuracy reruns the job to compute accuracy (Train returns only the

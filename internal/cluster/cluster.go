@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"bcc/internal/coding"
+	"bcc/internal/faults"
 	"bcc/internal/model"
 	"bcc/internal/optimize"
 	"bcc/internal/rngutil"
@@ -46,6 +47,17 @@ type Config struct {
 	DropProb float64
 	// DropSeed seeds the drop draws (only used when DropProb > 0).
 	DropSeed uint64
+	// Faults, if non-nil, deterministically schedules per-worker fault
+	// events — crashes and restarts, transient slowdown windows, master-side
+	// partition windows and correlated drop bursts — identically on every
+	// runtime (see internal/faults). Crashed workers do no work, slowdown
+	// windows multiply the Latency model's compute and upload draws, and
+	// partitioned/burst-dropped transmissions are discarded by the master
+	// like DropProb losses. Scheduled events are surfaced through
+	// Observer.OnWorkerFault, and an iteration whose reachable workers fall
+	// below the scheme's decodable minimum fails fast with
+	// ErrBelowThreshold.
+	Faults *faults.Plan
 	// LossEvery, if positive, evaluates full training loss every k
 	// iterations and records it in the stats (costly for large models).
 	LossEvery int
@@ -153,6 +165,14 @@ func (c *Config) validate() error {
 	for _, d := range c.Dead {
 		if d < 0 || d >= n {
 			return fmt.Errorf("cluster: dead worker %d out of range [0,%d)", d, n)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		if c.Faults.N != n {
+			return fmt.Errorf("cluster: fault plan built for %d workers, cluster has %d", c.Faults.N, n)
 		}
 	}
 	return nil
@@ -355,6 +375,26 @@ func messageBytes(msg coding.Message) int {
 // decoder still cannot reconstruct the gradient (e.g. too many dead workers
 // for the scheme's redundancy).
 var ErrStalled = errors.New("cluster: all alive workers reported but gradient is not decodable")
+
+// ErrBelowThreshold is returned when dead workers or the fault plan leave
+// an iteration with fewer reachable workers than the scheme can possibly
+// decode from (coding.MinResponders): the engine degrades explicitly before
+// running the doomed iteration, keeping the completed iterations as a
+// partial Result. It matches ErrStalled under errors.Is (without inheriting
+// its all-workers-reported message — on this path the iteration never ran),
+// so errors.Is(err, ErrStalled) continues to identify every
+// unrecoverable-gradient failure.
+var ErrBelowThreshold error = belowThresholdError{}
+
+type belowThresholdError struct{}
+
+func (belowThresholdError) Error() string {
+	return "cluster: too few reachable workers to ever decode"
+}
+
+// Is makes errors.Is(ErrBelowThreshold, ErrStalled) true: both report an
+// unrecoverable gradient, they differ only in when that was detected.
+func (belowThresholdError) Is(target error) bool { return target == ErrStalled }
 
 // dropper decides, deterministically from its seed, whether a transmission
 // is lost. A nil dropper never drops.

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"bcc/internal/coding"
+	"bcc/internal/faults"
 	"bcc/internal/model"
 	"bcc/internal/trace"
 	"bcc/internal/vecmath"
@@ -153,9 +154,33 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 		}
 		return res
 	}
+	// Fault-plan accounting: scheduled events are surfaced to the observer
+	// at the top of each iteration, and iterations that the plan leaves
+	// without enough reachable workers to possibly decode degrade
+	// explicitly instead of wedging the transport.
+	dead := cfg.deadSet()
+	_, n, _ := cfg.Plan.Params()
+	minResponders := coding.MinResponders(cfg.Plan)
+	// degraded signals the observer that the run is about to end because
+	// the gradient is unrecoverable; the one place both degrade paths
+	// (fail-fast and stall) report through.
+	degraded := func(iter int) {
+		if cfg.Observer != nil {
+			cfg.Observer.OnWorkerFault(faults.Event{Iter: iter, Kind: faults.KindDegraded, Worker: -1})
+		}
+	}
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return finish(), err
+		}
+		if cfg.Faults != nil && cfg.Observer != nil {
+			cfg.Faults.EventsAt(iter, cfg.Observer.OnWorkerFault)
+		}
+		if reachable := reachableWorkers(cfg.Faults, dead, n, iter); reachable < minResponders {
+			degraded(iter)
+			return finish(), fmt.Errorf(
+				"cluster: iteration %d has %d reachable workers but scheme %q cannot decode below %d: %w",
+				iter, reachable, cfg.Plan.Scheme(), minResponders, ErrBelowThreshold)
 		}
 		q := cfg.Opt.Query()
 		if !traits.SyncQuery {
@@ -190,6 +215,7 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 			if !ok {
 				if !decoded {
 					src.Finish()
+					degraded(iter)
 					return nil, fmt.Errorf("%w (iteration %d)", ErrStalled, iter)
 				}
 				break
@@ -273,6 +299,25 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 		}
 	}
 	return finish(), nil
+}
+
+// reachableWorkers counts the workers that can possibly contribute to
+// iteration iter's decode: not configured dead, not crashed, and not
+// scheduled to have their transmission lost (partition window or drop
+// burst). Random DropProb losses are NOT included — they are drawn at the
+// transports, and the stall path reports them after the fact.
+func reachableWorkers(plan *faults.Plan, dead map[int]bool, n, iter int) int {
+	reachable := n - len(dead)
+	if plan == nil {
+		return reachable
+	}
+	reachable = 0
+	for w := 0; w < n; w++ {
+		if !dead[w] && plan.Contributing(w, iter) {
+			reachable++
+		}
+	}
+	return reachable
 }
 
 // drawDrops draws one iteration's lost transmissions: one Bernoulli draw per

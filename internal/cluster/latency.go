@@ -10,7 +10,9 @@
 // (this file) shared by all of them. Config.Pipelined switches every
 // runtime from barrier iterations to pipelined ones: the next query goes
 // out the instant an iteration decodes, and workers cancel straggler work
-// in flight.
+// in flight. Config.Faults injects deterministic fault schedules
+// (internal/faults) — crashes, slowdowns, partitions, drop bursts —
+// replayed identically by every transport.
 //
 // The fabric substitutes for the paper's EC2 cluster: the measured
 // quantities (recovery threshold, communication/computation time split,
@@ -22,6 +24,7 @@ package cluster
 import (
 	"fmt"
 
+	"bcc/internal/faults"
 	"bcc/internal/rngutil"
 )
 
@@ -39,6 +42,35 @@ type Latency interface {
 	// Upload returns worker's time to transfer a message group of the given
 	// size, in units of one gradient vector (seconds).
 	Upload(worker, iter int, units float64) float64
+}
+
+// faultLatency applies a fault plan's scheduled slowdown windows on top of
+// a base latency model: the plan's multiplicative factor scales the
+// worker's compute and upload draws (like Fixed.Factor, broadcast delivery
+// is unscaled). SlowFactor is a pure function of (worker, iteration), so
+// wrapping preserves the base model's cross-runtime draw alignment.
+type faultLatency struct {
+	base Latency
+	plan *faults.Plan
+}
+
+// withFaultSlowdowns wraps base with plan's slowdown windows; it returns
+// base unchanged when the plan schedules none.
+func withFaultSlowdowns(base Latency, plan *faults.Plan) Latency {
+	if plan == nil || len(plan.Slowdowns) == 0 {
+		return base
+	}
+	return faultLatency{base: base, plan: plan}
+}
+
+func (l faultLatency) Broadcast(w, iter int) float64 { return l.base.Broadcast(w, iter) }
+
+func (l faultLatency) Compute(w, iter, points int) float64 {
+	return l.plan.SlowFactor(w, iter) * l.base.Compute(w, iter, points)
+}
+
+func (l faultLatency) Upload(w, iter int, units float64) float64 {
+	return l.plan.SlowFactor(w, iter) * l.base.Upload(w, iter, units)
 }
 
 // Zero is a Latency with no delays; useful for logic-only tests.

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"bcc/internal/faults"
 )
 
 // Lifecycle tests: context cancellation with partial results and clean
@@ -234,6 +236,91 @@ func TestCheckpointHookCadence(t *testing.T) {
 	}
 	if res == nil || len(res.Iters) != 4 {
 		t.Fatalf("aborted run should keep its 4 finished iterations, got %+v", res)
+	}
+}
+
+// TestFaultPlanCancelMidRunPartialResult cancels a run mid-flight while a
+// FaultPlan is actively crashing and slowing workers, on each runtime: the
+// completed iterations must come back as a partial Result alongside
+// context.Canceled, and no worker goroutines, reader goroutines or TCP
+// listeners may leak — a crashed (skipping) worker must still observe the
+// fabric teardown.
+func TestFaultPlanCancelMidRunPartialResult(t *testing.T) {
+	liveOpts := func(tcp bool) LiveOptions {
+		return LiveOptions{TimeScale: 1e-6, Timeout: 30 * time.Second, TCP: tcp}
+	}
+	runtimes := []struct {
+		name string
+		run  func(ctx context.Context, cfg *Config) (*Result, error)
+	}{
+		{"sim", RunSimContext},
+		{"live", func(ctx context.Context, cfg *Config) (*Result, error) {
+			return RunLiveContext(ctx, cfg, liveOpts(false))
+		}},
+		{"tcp", func(ctx context.Context, cfg *Config) (*Result, error) {
+			return RunLiveContext(ctx, cfg, liveOpts(true))
+		}},
+	}
+	plan := &faults.Plan{N: 8,
+		// Worker 1 is down from iteration 1 on — it is mid-crash when the
+		// cancel lands; worker 2 is in a slowdown window.
+		Crashes:   []faults.Crash{{Worker: 1, At: 1}, {Worker: 3, At: 2, RestartAfter: 2}},
+		Slowdowns: []faults.Slowdown{{Worker: 2, From: 0, Factor: 3}},
+	}
+	for i, rt := range runtimes {
+		t.Run(rt.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			cfg, _ := buildRun(t, "bcc", 8, 8, 4, 50, 190+uint64(i), Zero{})
+			cfg.Faults = plan
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			const stopAfter = 3
+			seen := 0
+			cfg.Observer = ObserverFuncs{Iteration: func(IterStats) {
+				seen++
+				if seen == stopAfter {
+					cancel()
+				}
+			}}
+			res, err := rt.run(ctx, cfg)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res == nil || len(res.Iters) != stopAfter {
+				t.Fatalf("partial result %+v, want %d iterations", res, stopAfter)
+			}
+			waitNoExtraGoroutines(t, before)
+		})
+	}
+}
+
+// TestFaultPlanDegradeTeardown runs a plan that crashes the cluster below
+// the decodable threshold mid-run on the live runtimes: the explicit
+// degradation error must also tear every worker goroutine down (the
+// crashed-forever workers included).
+func TestFaultPlanDegradeTeardown(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		name := "live"
+		if tcp {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			cfg, _ := buildRun(t, "bcc", 8, 8, 4, 10, 195, Zero{})
+			plan := &faults.Plan{N: 8}
+			for w := 0; w < 7; w++ {
+				plan.Crashes = append(plan.Crashes, faults.Crash{Worker: w, At: 2})
+			}
+			cfg.Faults = plan
+			res, err := RunLive(cfg, LiveOptions{TimeScale: 1e-6, Timeout: 30 * time.Second, TCP: tcp})
+			if !errors.Is(err, ErrBelowThreshold) {
+				t.Fatalf("err = %v, want ErrBelowThreshold", err)
+			}
+			if res == nil || len(res.Iters) != 2 {
+				t.Fatalf("partial result %+v, want 2 iterations", res)
+			}
+			waitNoExtraGoroutines(t, before)
+		})
 	}
 }
 

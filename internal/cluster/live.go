@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bcc/internal/coding"
+	"bcc/internal/faults"
 )
 
 // The live runtimes execute the run with real concurrent workers — one
@@ -104,27 +105,47 @@ func RunLiveContext(ctx context.Context, cfg *Config, opts LiveOptions) (*Result
 // ---------------------------------------------------------------------------
 
 type liveTransport struct {
-	cfg   *Config
-	pool  *BufferPool
-	fab   fabric
-	opts  LiveOptions
-	dead  map[int]bool
-	drops *dropper
-	n     int
+	cfg    *Config
+	pool   *BufferPool
+	fab    fabric
+	opts   LiveOptions
+	dead   map[int]bool
+	drops  *dropper
+	faults *faults.Plan
+	n      int
 }
 
 func newLiveTransport(cfg *Config, fab fabric, opts LiveOptions) *liveTransport {
 	opts.defaults()
 	_, n, _ := cfg.Plan.Params()
 	return &liveTransport{
-		cfg:   cfg,
-		pool:  cfg.buffers(),
-		fab:   fab,
-		opts:  opts,
-		dead:  cfg.deadSet(),
-		drops: cfg.newDropper(),
-		n:     n,
+		cfg:    cfg,
+		pool:   cfg.buffers(),
+		fab:    fab,
+		opts:   opts,
+		dead:   cfg.deadSet(),
+		drops:  cfg.newDropper(),
+		faults: cfg.Faults,
+		n:      n,
 	}
+}
+
+// expectedReplies counts the workers that will transmit for iteration iter:
+// the fabric's alive workers minus those the fault plan has crashed.
+// Partitioned and burst-dropped workers still transmit (the loss is on the
+// master's side), so they stay in the count and their arrivals are
+// discarded in Next.
+func (t *liveTransport) expectedReplies(iter int) int {
+	if t.faults == nil {
+		return t.fab.AliveWorkers()
+	}
+	expected := 0
+	for w := 0; w < t.n; w++ {
+		if !t.dead[w] && t.faults.Active(w, iter) {
+			expected++
+		}
+	}
+	return expected
 }
 
 func (t *liveTransport) Traits() Traits { return Traits{} }
@@ -141,6 +162,7 @@ func (t *liveTransport) Broadcast(ctx context.Context, iter int, query []float64
 		ctx:      ctx,
 		iter:     iter,
 		lost:     lost,
+		expected: t.expectedReplies(iter),
 		start:    time.Now(),
 		deadline: time.NewTimer(t.opts.Timeout),
 	}, nil
@@ -151,6 +173,7 @@ type liveSource struct {
 	ctx      context.Context
 	iter     int
 	lost     map[int]bool
+	expected int
 	start    time.Time
 	deadline *time.Timer
 	replies  int
@@ -158,8 +181,8 @@ type liveSource struct {
 
 func (s *liveSource) Next() (Arrival, bool, error) {
 	for {
-		if s.replies >= s.t.fab.AliveWorkers() {
-			// Every alive worker has reported (some possibly dropped).
+		if s.replies >= s.expected {
+			// Every transmitting worker has reported (some possibly dropped).
 			return Arrival{}, false, nil
 		}
 		select {
@@ -171,11 +194,11 @@ func (s *liveSource) Next() (Arrival, bool, error) {
 				continue
 			}
 			s.replies++
-			if s.lost[rep.Worker] {
-				// Transmission lost in the network; the worker will not
-				// retransmit, but its reply still counts toward the stall
-				// check above. The lost payload is recycled like the wire
-				// would discard it.
+			if s.lost[rep.Worker] || s.t.faults.MasterDrop(rep.Worker, s.iter) {
+				// Transmission lost in the network (random drop, partition
+				// window or drop burst); the worker will not retransmit, but
+				// its reply still counts toward the stall check above. The
+				// lost payload is recycled like the wire would discard it.
 				recycleMsgs(s.t.pool, rep.Msgs)
 				continue
 			}
@@ -193,7 +216,7 @@ func (s *liveSource) Next() (Arrival, bool, error) {
 			return Arrival{}, false, s.ctx.Err()
 		case <-s.deadline.C:
 			return Arrival{}, false, fmt.Errorf("cluster: iteration %d timed out after %v (%d/%d replies)",
-				s.iter, s.t.opts.Timeout, s.replies, s.t.fab.AliveWorkers())
+				s.iter, s.t.opts.Timeout, s.replies, s.expected)
 		}
 	}
 }
@@ -222,6 +245,11 @@ type WorkerEnv struct {
 	Units     [][]int
 	Latency   Latency
 	TimeScale float64
+	// Faults, if non-nil, is the run's deterministic fault plan; must match
+	// the master's Config.Faults. The worker consults it before every
+	// iteration's work: while crashed it computes and transmits nothing, and
+	// scheduled slowdown windows multiply its compute and upload latency.
+	Faults *faults.Plan
 	// Codec selects the TCP frame encoding ("" = gob); must match the
 	// master. Unused by the channel fabric.
 	Codec string
@@ -246,8 +274,13 @@ type WorkerEnv struct {
 // encode, sleep the upload latency, reply. In pipelined mode the latency
 // sleeps are preemptible — a fresher update aborts the stale iteration
 // immediately; otherwise the worker serializes iterations (the barrier
-// behaviour) and merely skips stale queued models between them.
+// behaviour) and merely skips stale queued models between them. An
+// env.Faults plan is consulted before any iteration work: crashed
+// iterations are skipped entirely (no latency draws, no compute, no
+// transmission — exactly what the simulator models) and slowdown windows
+// stretch the latency sleeps.
 func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error) error {
+	env.Latency = withFaultSlowdowns(env.Latency, env.Faults)
 	assign := env.Plan.Assignments()[env.Index]
 	points := 0
 	for _, u := range assign {
@@ -286,6 +319,9 @@ func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error
 		}
 		if mu.Iter < 0 {
 			return nil
+		}
+		if !env.Faults.Active(env.Index, mu.Iter) {
+			continue // crashed for this iteration: no work, no reply
 		}
 		iter := mu.Iter
 		if next, preempted := sleepOrPreempt(env.Latency.Broadcast(env.Index, iter), scale, updates, env.Pipelined); preempted {
@@ -393,6 +429,7 @@ func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			Units:              cfg.Units,
 			Latency:            cfg.latency(),
 			TimeScale:          opts.TimeScale,
+			Faults:             cfg.Faults,
 			ComputeParallelism: cfg.ComputeParallelism,
 			Pipelined:          cfg.Pipelined,
 			Bufs:               pool,

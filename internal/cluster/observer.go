@@ -1,5 +1,7 @@
 package cluster
 
+import "bcc/internal/faults"
+
 // Observers give callers visibility into a run while it executes. The master
 // engine (engine.go) invokes the hooks inline from its single iteration
 // loop, so every runtime — sim, live, tcp — reports through the same code
@@ -28,12 +30,18 @@ type DecodeEvent struct {
 // OnDecode fires the moment an iteration's gradient becomes decodable;
 // OnIteration fires once per completed iteration, after the optimizer has
 // advanced, with the exact IterStats value that will appear in Result.Iters;
+// OnWorkerFault fires at the start of each iteration for every scheduled
+// fault event taking effect (crashes, restarts, slowdown and partition
+// edges, burst starts — see Config.Faults), in the fault plan's
+// deterministic order, plus once with a KindDegraded event when the run is
+// about to degrade (ErrBelowThreshold fail-fast or a stalled iteration);
 // OnRunEnd fires once with the final Result whenever a run produces one —
 // including the partial Result of a cancelled or early-stopped run. Runs
 // that die without a Result (stall, broken transport) do not call OnRunEnd.
 type Observer interface {
 	OnIteration(IterStats)
 	OnDecode(DecodeEvent)
+	OnWorkerFault(faults.Event)
 	OnRunEnd(*Result)
 }
 
@@ -42,6 +50,7 @@ type Observer interface {
 type ObserverFuncs struct {
 	Iteration func(IterStats)
 	Decode    func(DecodeEvent)
+	Fault     func(faults.Event)
 	RunEnd    func(*Result)
 }
 
@@ -56,6 +65,13 @@ func (o ObserverFuncs) OnIteration(st IterStats) {
 func (o ObserverFuncs) OnDecode(ev DecodeEvent) {
 	if o.Decode != nil {
 		o.Decode(ev)
+	}
+}
+
+// OnWorkerFault implements Observer.
+func (o ObserverFuncs) OnWorkerFault(ev faults.Event) {
+	if o.Fault != nil {
+		o.Fault(ev)
 	}
 }
 
@@ -92,6 +108,12 @@ func (m multiObserver) OnIteration(st IterStats) {
 func (m multiObserver) OnDecode(ev DecodeEvent) {
 	for _, o := range m {
 		o.OnDecode(ev)
+	}
+}
+
+func (m multiObserver) OnWorkerFault(ev faults.Event) {
+	for _, o := range m {
+		o.OnWorkerFault(ev)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"bcc/internal/coding"
+	"bcc/internal/faults"
 	"bcc/internal/trace"
 )
 
@@ -54,6 +55,7 @@ type simTransport struct {
 	lat    Latency
 	dead   map[int]bool
 	drops  *dropper
+	faults *faults.Plan
 	points []int
 	n      int
 
@@ -70,9 +72,10 @@ func newSimTransport(cfg *Config) *simTransport {
 	return &simTransport{
 		cfg:    cfg,
 		pool:   cfg.buffers(),
-		lat:    cfg.latency(),
+		lat:    withFaultSlowdowns(cfg.latency(), cfg.Faults),
 		dead:   cfg.deadSet(),
 		drops:  cfg.newDropper(),
+		faults: cfg.Faults,
 		points: workerPoints(cfg.Plan, cfg.Units),
 		n:      n,
 		msgs:   make([][]coding.Message, n),
@@ -124,7 +127,10 @@ func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64)
 		if t.dead[w] {
 			continue
 		}
-		if lost[w] {
+		if !t.faults.Active(w, iter) {
+			continue // crashed this iteration: no compute, no transmission
+		}
+		if lost[w] || t.faults.MasterDrop(w, iter) {
 			continue // transmission lost in the network this iteration
 		}
 		bcast := t.lat.Broadcast(w, iter)

@@ -56,6 +56,7 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			Latency:            cfg.latency(),
 			TimeScale:          opts.TimeScale,
 			Codec:              opts.Codec,
+			Faults:             cfg.Faults,
 			ComputeParallelism: cfg.ComputeParallelism,
 			Pipelined:          cfg.Pipelined,
 		}

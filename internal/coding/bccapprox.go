@@ -64,6 +64,11 @@ func (p *bccApproxPlan) Scheme() string { return "bccapprox" }
 // CoverageTarget returns the number of batches the decoder waits for.
 func (p *bccApproxPlan) CoverageTarget() int { return p.need }
 
+// MinResponders overrides the embedded exact-BCC coverage bound: the
+// approximate decoder is satisfied by `need` covered batches, and each
+// worker holds one batch, so fewer than `need` workers can never be ready.
+func (p *bccApproxPlan) MinResponders() int { return p.need }
+
 // ExpectedThreshold implements Plan: the expected draws of the classic
 // collector to see `need` distinct coupons of nBatches types, capped at n.
 func (p *bccApproxPlan) ExpectedThreshold() float64 {

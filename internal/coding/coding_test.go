@@ -550,3 +550,128 @@ func TestOfferAfterDecodableIsIgnored(t *testing.T) {
 	got, _ := Decode(dec, gradDim)
 	checkExact(t, "late offers", got, want)
 }
+
+// ---------------------------------------------------------------------------
+// Responder-subset properties (fault-injection support)
+// ---------------------------------------------------------------------------
+
+// subsetCase feeds exactly one responder subset (in the given worker order)
+// into a freshly Reset decoder and checks the subset-level contracts:
+//
+//   - any subset of size >= WorstCaseThreshold (when the plan declares one)
+//     must be decodable — the "always sufficient" guarantee;
+//   - any subset SMALLER than MinResponders must never be decodable, and
+//     Offer must never have reported ready — the converse bound the master
+//     engine's explicit degradation rests on;
+//   - whenever the decoder reports decodable, DecodeInto must reproduce the
+//     exact uncoded full gradient (bccapprox excepted: it rescales a
+//     partial sum by design);
+//   - the last Offer verdict, Decodable and DecodeInto's error must agree.
+func subsetCase(t *testing.T, name string, p Plan, dec Decoder, gs [][]float64, total []float64, sub []int) {
+	t.Helper()
+	dec.Reset()
+	anyReady := false
+	for _, w := range sub {
+		for _, msg := range encodeWorker(p, w, gs) {
+			if dec.Offer(msg) {
+				anyReady = true
+			}
+		}
+	}
+	if anyReady != dec.Decodable() {
+		t.Fatalf("%s subset %v: Offer reported ready=%v but Decodable=%v", name, sub, anyReady, dec.Decodable())
+	}
+	minR := MinResponders(p)
+	if dec.Decodable() {
+		if len(sub) < minR {
+			t.Fatalf("%s: subset %v of %d workers decodable below MinResponders %d", name, sub, len(sub), minR)
+		}
+		out, err := Decode(dec, gradDim)
+		if err != nil {
+			t.Fatalf("%s subset %v: decodable decoder failed: %v", name, sub, err)
+		}
+		if name != "bccapprox" {
+			checkExact(t, name, out, total)
+		}
+		return
+	}
+	if wct := p.WorstCaseThreshold(); wct >= 0 && len(sub) >= wct {
+		t.Fatalf("%s: subset %v has %d workers >= worst-case threshold %d but is not decodable",
+			name, sub, len(sub), wct)
+	}
+	if err := dec.DecodeInto(make([]float64, gradDim)); err != ErrNotDecodable {
+		t.Fatalf("%s subset %v: early DecodeInto returned %v, want ErrNotDecodable", name, sub, err)
+	}
+}
+
+// TestDecoderSubsetProperties checks the subset contracts for every
+// registered scheme: exhaustively over all 2^6 responder subsets of a small
+// plan, then over random subsets in random arrival orders of a larger one.
+// One decoder is reused across every subset, so Reset isolation is
+// exercised a few hundred times per scheme as a side effect.
+func TestDecoderSubsetProperties(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rng := rngutil.New(4242)
+			small := planFor(t, name, 6, 6, 2, rng.Split())
+			gs, total := makeGradients(6, rng.Split())
+			dec := small.NewDecoder()
+			for mask := 0; mask < 1<<6; mask++ {
+				var sub []int
+				for w := 0; w < 6; w++ {
+					if mask&(1<<w) != 0 {
+						sub = append(sub, w)
+					}
+				}
+				subsetCase(t, name, small, dec, gs, total, sub)
+			}
+
+			big := planFor(t, name, 12, 12, 3, rng.Split())
+			gsBig, totalBig := makeGradients(12, rng.Split())
+			decBig := big.NewDecoder()
+			for trial := 0; trial < 120; trial++ {
+				perm := rng.Perm(12)
+				sub := perm[:1+rng.Intn(12)]
+				subsetCase(t, name, big, decBig, gsBig, totalBig, sub)
+			}
+		})
+	}
+}
+
+// TestMinRespondersBounds pins the per-scheme converse bounds themselves:
+// the exact overrides where they are known, the generic coverage bound
+// elsewhere, and consistency with WorstCaseThreshold (a set that is always
+// sufficient can never be smaller than one that is certainly insufficient).
+func TestMinRespondersBounds(t *testing.T) {
+	rng := rngutil.New(77)
+	cases := []struct {
+		name    string
+		m, n, r int
+		want    int
+	}{
+		{"uncoded", 12, 12, 1, 12}, // every holder required
+		{"uncoded", 6, 12, 1, 6},   // only the data-holding workers count
+		{"cyclicmds", 12, 12, 3, 10},
+		{"cyclicrep", 12, 12, 3, 4},
+		{"bcc", 12, 12, 3, 4},
+		{"fractional", 12, 12, 3, 4},
+		{"randomized", 12, 12, 3, 4},
+	}
+	for _, tc := range cases {
+		p := planFor(t, tc.name, tc.m, tc.n, tc.r, rng.Split())
+		if got := MinResponders(p); got != tc.want {
+			t.Errorf("%s(m=%d n=%d r=%d): MinResponders %d, want %d", tc.name, tc.m, tc.n, tc.r, got, tc.want)
+		}
+	}
+	for _, name := range Names() {
+		p := planFor(t, name, 12, 12, 3, rng.Split())
+		minR := MinResponders(p)
+		if minR < 1 {
+			t.Errorf("%s: MinResponders %d < 1", name, minR)
+		}
+		if wct := p.WorstCaseThreshold(); wct >= 0 && minR > wct {
+			t.Errorf("%s: MinResponders %d above WorstCaseThreshold %d", name, minR, wct)
+		}
+	}
+}

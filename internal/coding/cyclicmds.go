@@ -94,6 +94,11 @@ func (p *mdsPlan) Assignments() [][]int    { return p.assign }
 func (p *mdsPlan) Matrix() *linalg.CMatrix { return p.b }
 
 func (p *mdsPlan) WorstCaseThreshold() int    { return p.n - p.s }
+
+// MinResponders implements the exact converse bound: an MDS code over the
+// workers cannot be decoded from fewer than n-s shares, regardless of which
+// shares arrive.
+func (p *mdsPlan) MinResponders() int { return p.n - p.s }
 func (p *mdsPlan) ExpectedThreshold() float64 { return float64(p.n - p.s) }
 func (p *mdsPlan) CommLoadPerWorker() float64 { return 1 }
 

@@ -114,6 +114,46 @@ type Decoder interface {
 	Reset()
 }
 
+// minResponders is the optional Plan capability behind MinResponders, for
+// schemes whose impossibility bound is sharper (or looser) than the generic
+// coverage argument.
+type minResponders interface {
+	MinResponders() int
+}
+
+// MinResponders returns the minimum size any decodable responder set can
+// have for this plan: with fewer responding workers decoding is impossible
+// REGARDLESS of which workers respond. It is the converse counterpart of
+// WorstCaseThreshold (which workers are always sufficient) and is what the
+// cluster engine uses to degrade explicitly when fault injection leaves too
+// few reachable workers.
+//
+// Plans may implement MinResponders() int to supply an exact bound (uncoded
+// and partitioned need every data holder; MDS codes need exactly their
+// threshold; approximate BCC needs only its coverage target). The default
+// is the coverage argument: every worker contributes at most
+// max_w |Assignments()[w]| of the m examples, so fewer than
+// ceil(m / maxAssign) workers cannot cover — hence cannot reconstruct — the
+// full gradient. The bound is conservative: sets at or above it may still
+// be undecodable (the stall path catches those), but sets below it never
+// decode.
+func MinResponders(p Plan) int {
+	if mr, ok := p.(minResponders); ok {
+		return mr.MinResponders()
+	}
+	m, _, _ := p.Params()
+	maxAssign := 0
+	for _, a := range p.Assignments() {
+		if len(a) > maxAssign {
+			maxAssign = len(a)
+		}
+	}
+	if maxAssign == 0 {
+		return 0
+	}
+	return (m + maxAssign - 1) / maxAssign
+}
+
 // Encode is the convenience form of Plan.EncodeInto for callers without
 // buffer reuse (experiments, tests): fresh message and payload allocations.
 func Encode(p Plan, worker int, parts [][]float64) []Message {

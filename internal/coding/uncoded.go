@@ -60,6 +60,10 @@ func (p *uncodedPlan) Scheme() string          { return "uncoded" }
 func (p *uncodedPlan) Params() (int, int, int) { return p.m, p.n, p.r }
 func (p *uncodedPlan) Assignments() [][]int    { return p.assign }
 func (p *uncodedPlan) WorstCaseThreshold() int { return p.holders }
+
+// MinResponders implements the exact converse bound: uncoded has zero
+// redundancy, so every data-holding worker is required.
+func (p *uncodedPlan) MinResponders() int { return p.holders }
 func (p *uncodedPlan) ExpectedThreshold() float64 {
 	return float64(p.holders)
 }

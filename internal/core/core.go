@@ -14,6 +14,7 @@ import (
 	"bcc/internal/cluster"
 	"bcc/internal/coding"
 	"bcc/internal/dataset"
+	"bcc/internal/faults"
 	"bcc/internal/model"
 	"bcc/internal/optimize"
 	"bcc/internal/rngutil"
@@ -227,6 +228,18 @@ type Spec struct {
 	// DropSeed seeds the drop draws (only used when DropProb > 0); the
 	// fault pattern is identical across runtimes for a given seed.
 	DropSeed uint64
+	// Faults, if non-nil, deterministically schedules worker fault events —
+	// crashes/restarts, slowdown windows, partitions, drop bursts — replayed
+	// identically on every runtime (see internal/faults). Takes precedence
+	// over FaultScenario.
+	Faults *faults.Plan
+	// FaultScenario names a fault scenario from the library (faults.Names():
+	// steady, flaky-tail, rolling-restart, partition, burst-drop,
+	// slow-decile); the plan is built for Workers workers at NewJob time.
+	FaultScenario string
+	// FaultSeed seeds the scenario's probabilistic rules (0 = derived from
+	// Seed), so the same spec replays the same fault sequence everywhere.
+	FaultSeed uint64
 	// ComputeParallelism fans each worker's per-example gradient
 	// computations out over this many goroutines (0/1 = serial); results
 	// are bit-for-bit identical to the serial path.
@@ -332,6 +345,14 @@ func (s *Spec) validateOptions() error {
 	if s.GradNormTol < 0 {
 		return &OptionError{Option: "GradNormTol", Value: fmt.Sprintf("%v", s.GradNormTol), Reason: "must be non-negative"}
 	}
+	if s.FaultScenario != "" && !faults.Known(s.FaultScenario) {
+		return &OptionError{Option: "FaultScenario", Value: s.FaultScenario, Known: faults.Names()}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return &OptionError{Option: "Faults", Value: "plan", Reason: err.Error()}
+		}
+	}
 	return nil
 }
 
@@ -349,6 +370,9 @@ type Job struct {
 	Plan  coding.Plan
 	Units [][]int
 	Opt   optimize.Optimizer
+	// Faults is the resolved fault plan of the run: Spec.Faults, or the
+	// Spec.FaultScenario built for this cluster size; nil without either.
+	Faults *faults.Plan
 	// Resumed is the number of iterations already completed against this
 	// job's optimizer state before the next run — set by RestoreCheckpoint,
 	// zero for a fresh job. Periodic checkpoints record Resumed plus the
@@ -400,9 +424,22 @@ func NewJobWithData(spec Spec, ds *dataset.Dataset, rng *rngutil.RNG) (*Job, err
 		return nil, fmt.Errorf("core: planning %s: %w", s.Scheme, err)
 	}
 	mod := &model.Logistic{Data: ds, Lambda: s.Lambda}
+	fp := s.Faults
+	if fp == nil && s.FaultScenario != "" {
+		// A fixed non-zero mix keeps the derived fault stream independent of
+		// the data/placement streams while staying a pure function of Seed.
+		fseed := s.FaultSeed
+		if fseed == 0 {
+			fseed = s.Seed ^ 0xfa417_5eed
+		}
+		fp, err = faults.Scenario(s.FaultScenario, s.Workers, fseed)
+		if err != nil {
+			return nil, fmt.Errorf("core: fault scenario %s: %w", s.FaultScenario, err)
+		}
+	}
 	// validateOptions above guarantees the registry entry exists.
 	build := optimizers[s.Optimizer]
-	return &Job{Spec: s, Data: ds, Model: mod, Plan: plan, Units: units, Opt: build(mod.Dim(), s.StepSize)}, nil
+	return &Job{Spec: s, Data: ds, Model: mod, Plan: plan, Units: units, Opt: build(mod.Dim(), s.StepSize), Faults: fp}, nil
 }
 
 // clusterConfig lowers the spec to the engine's Config, wiring the lifecycle
@@ -432,6 +469,7 @@ func (j *Job) clusterConfig() *cluster.Config {
 		Dead:               j.Spec.Dead,
 		DropProb:           j.Spec.DropProb,
 		DropSeed:           j.Spec.DropSeed,
+		Faults:             j.Faults,
 		ComputeParallelism: j.Spec.ComputeParallelism,
 		LossEvery:          j.Spec.LossEvery,
 		Trace:              j.Spec.Trace,

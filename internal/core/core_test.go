@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"bcc/internal/cluster"
+	"bcc/internal/faults"
 	"bcc/internal/rngutil"
 	"bcc/internal/vecmath"
 )
@@ -494,5 +496,72 @@ func TestResumedAutoCheckpointCountsCumulative(t *testing.T) {
 	}
 	if completed != 18 {
 		t.Fatalf("resumed auto-checkpoint recorded %d completed iterations, want cumulative 18", completed)
+	}
+}
+
+// TestFaultScenarioSpec checks the FaultScenario/FaultSeed plumbing: an
+// unknown scenario fails fast with an *OptionError naming the library, a
+// known one resolves to a deterministic Job.Faults plan, and the scheduled
+// fault events reach the Spec.Observer identically on repeated runs.
+func TestFaultScenarioSpec(t *testing.T) {
+	if _, err := NewJob(Spec{FaultScenario: "nope"}); err == nil {
+		t.Fatal("unknown fault scenario accepted")
+	} else {
+		var oe *OptionError
+		if !errors.As(err, &oe) || oe.Option != "FaultScenario" || len(oe.Known) == 0 {
+			t.Fatalf("want *OptionError for FaultScenario with known values, got %v", err)
+		}
+	}
+	if _, err := NewJob(Spec{Faults: &faults.Plan{N: -1}}); err == nil {
+		t.Fatal("invalid Spec.Faults plan accepted")
+	}
+
+	run := func() ([]string, *cluster.Result) {
+		var evs []string
+		job, err := NewJob(Spec{
+			Examples: 8, Workers: 8, Load: 4,
+			DataPoints: 64, Dim: 12,
+			Iterations: 6, Seed: 5,
+			FaultScenario: "rolling-restart",
+			Observer: cluster.ObserverFuncs{Fault: func(ev faults.Event) {
+				evs = append(evs, ev.String())
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Faults == nil || job.Faults.N != 8 {
+			t.Fatalf("scenario did not resolve onto the job: %+v", job.Faults)
+		}
+		res, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs, res
+	}
+	evsA, resA := run()
+	evsB, resB := run()
+	if len(evsA) == 0 {
+		t.Fatal("rolling-restart emitted no fault events")
+	}
+	if strings.Join(evsA, "\n") != strings.Join(evsB, "\n") {
+		t.Fatalf("fault traces differ between identical specs:\n%v\n%v", evsA, evsB)
+	}
+	if d := vecmath.MaxAbsDiff(resA.FinalW, resB.FinalW); d != 0 {
+		t.Fatalf("identical faulted specs trained different weights: %v", d)
+	}
+
+	// An explicit Spec.Faults plan takes precedence over the scenario name.
+	explicit := &faults.Plan{N: 8}
+	job, err := NewJob(Spec{
+		Examples: 8, Workers: 8, Load: 4, DataPoints: 64, Dim: 12,
+		Iterations: 2, Seed: 5,
+		Faults: explicit, FaultScenario: "rolling-restart",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Faults != explicit {
+		t.Fatal("Spec.Faults did not take precedence over FaultScenario")
 	}
 }
