@@ -8,11 +8,13 @@ import (
 	"bcc/internal/coding"
 	"bcc/internal/core"
 	"bcc/internal/coupon"
+	"bcc/internal/dataset"
 	"bcc/internal/experiments"
 	"bcc/internal/faults"
 	"bcc/internal/hetero"
 	"bcc/internal/rngutil"
 	"bcc/internal/trace"
+	"bcc/internal/vecmath"
 )
 
 // ---------------------------------------------------------------------------
@@ -25,8 +27,10 @@ import (
 // engine over different transports; set Pipelined to broadcast the next
 // query the moment an iteration decodes, cancelling straggler work in
 // flight. The run-lifecycle fields — Observer, StopWhen, GradNormTol,
-// CheckpointEvery/CheckpointPath, DropProb/DropSeed, ComputeParallelism —
-// are honoured identically on every runtime.
+// CheckpointEvery/CheckpointPath, DropProb/DropSeed, ComputeParallelism,
+// DecodeParallelism — are honoured identically on every runtime, and
+// Density switches the synthetic generator to sparse CSR features (worker
+// gradients then cost O(nnz) instead of O(rows·p)).
 type Spec = core.Spec
 
 // Job is a materialized training run; create with NewJob, execute with Run
@@ -73,6 +77,46 @@ func TrainContext(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	return job.RunContext(ctx)
+}
+
+// ---------------------------------------------------------------------------
+// Datasets: sparse storage and real data
+// ---------------------------------------------------------------------------
+
+// Dataset is a fixed design matrix with +-1 labels; the feature matrix is
+// an AnyMatrix (dense or CSR — gradients cost O(nnz) on the latter).
+type Dataset = dataset.Dataset
+
+// AnyMatrix is the matrix abstraction the gradient kernels run against;
+// DenseMatrix and CSRMatrix implement it.
+type AnyMatrix = vecmath.AnyMatrix
+
+// DenseMatrix is row-major dense storage.
+type DenseMatrix = vecmath.Matrix
+
+// CSRMatrix is compressed-sparse-row storage with O(nnz) kernels.
+type CSRMatrix = vecmath.CSR
+
+// LoadLIBSVM reads a LIBSVM-format sparse dataset ("label idx:val ...",
+// 1-based ascending indices) straight into CSR storage. Labels are mapped
+// to {-1, +1} by sign. Use PadDim if the model dimension exceeds the
+// largest index present in the file.
+func LoadLIBSVM(r io.Reader) (*Dataset, error) { return dataset.LoadLIBSVM(r) }
+
+// WriteLIBSVM serializes a dataset in LIBSVM format (O(nnz) for CSR data).
+func WriteLIBSVM(w io.Writer, d *Dataset) error { return dataset.WriteLIBSVM(w, d) }
+
+// PadDim widens a loaded dataset's feature dimension to at least dim.
+func PadDim(d *Dataset, dim int) *Dataset { return dataset.PadDim(d, dim) }
+
+// NewJobWithData materializes a training job over a caller-provided dataset
+// (e.g. one loaded with LoadLIBSVM) instead of the synthetic generator; the
+// placement randomness derives from spec.Seed. Spec.DataPoints/Dim/Density
+// are ignored in favour of the dataset's own shape.
+func NewJobWithData(spec Spec, ds *Dataset) (*Job, error) {
+	rng := rngutil.New(spec.Seed)
+	rng.Split() // data stream (unused here); keeps placement aligned with NewJob
+	return core.NewJobWithData(spec, ds, rng.Split())
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@ package bcc
 
 import (
 	"context"
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -257,6 +258,10 @@ func BenchmarkScaling(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 func benchPlan(b *testing.B, scheme string, m, n, r int) (coding.Plan, [][]float64) {
+	return benchPlanDim(b, scheme, m, n, r, benchGradDim)
+}
+
+func benchPlanDim(b *testing.B, scheme string, m, n, r, dim int) (coding.Plan, [][]float64) {
 	b.Helper()
 	s, err := coding.Lookup(scheme)
 	if err != nil {
@@ -269,7 +274,7 @@ func benchPlan(b *testing.B, scheme string, m, n, r int) (coding.Plan, [][]float
 	rng := rngutil.New(2)
 	gs := make([][]float64, m)
 	for u := range gs {
-		g := make([]float64, benchGradDim)
+		g := make([]float64, dim)
 		for t := range g {
 			g[t] = rng.Normal()
 		}
@@ -311,44 +316,65 @@ func benchEncodeDecode(b *testing.B, scheme string) {
 }
 
 // BenchmarkDecode isolates the master's decode path for every registered
-// scheme: messages are encoded once up front, then each round resets the
-// reused decoder, offers messages until decodable and decodes in place.
-// allocs/op is reported; the steady-state decode of the coverage schemes is
-// allocation-free and the linear-coded schemes hit their plan-level solve
-// caches after the first round.
+// scheme over a payload-size sweep (p = 1024 is the paper's scenario-one
+// gradient, p = 16384 a realistic sparse-workload dimension where the
+// decode combination dominates): messages are encoded once up front, then
+// each round resets the reused decoder, offers messages until decodable and
+// decodes in place. allocs/op is reported; the steady-state decode of the
+// coverage schemes is allocation-free and the linear-coded schemes hit
+// their plan-level solve caches after the first round.
 func BenchmarkDecode(b *testing.B) {
 	for _, scheme := range coding.Names() {
-		b.Run(scheme, func(b *testing.B) {
-			plan, gs := benchPlan(b, scheme, 50, 50, 10)
-			assign := plan.Assignments()
-			order := rngutil.New(3).Perm(50)
-			msgs := make([][]coding.Message, 50)
-			for _, w := range order {
-				parts := make([][]float64, len(assign[w]))
-				for k, u := range assign[w] {
-					parts[k] = gs[u]
-				}
-				msgs[w] = coding.Encode(plan, w, parts)
+		for _, dim := range []int{1024, 16384} {
+			b.Run(fmt.Sprintf("%s/p=%d", scheme, dim), func(b *testing.B) {
+				benchDecodeDim(b, scheme, dim, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkDecodeParallel measures the sharded decode of the schemes whose
+// combination fans out across cores, at the dimension where sharding pays.
+func BenchmarkDecodeParallel(b *testing.B) {
+	for _, scheme := range []string{"cyclicrep", "cyclicmds", "bccmulti"} {
+		for _, par := range []int{2, 4} {
+			b.Run(fmt.Sprintf("%s/p=16384/par=%d", scheme, par), func(b *testing.B) {
+				benchDecodeDim(b, scheme, 16384, par)
+			})
+		}
+	}
+}
+
+func benchDecodeDim(b *testing.B, scheme string, dim, decodePar int) {
+	plan, gs := benchPlanDim(b, scheme, 50, 50, 10, dim)
+	assign := plan.Assignments()
+	order := rngutil.New(3).Perm(50)
+	msgs := make([][]coding.Message, 50)
+	for _, w := range order {
+		parts := make([][]float64, len(assign[w]))
+		for k, u := range assign[w] {
+			parts[k] = gs[u]
+		}
+		msgs[w] = coding.Encode(plan, w, parts)
+	}
+	dec := plan.NewDecoder()
+	coding.SetDecodeParallelism(dec, decodePar)
+	dst := make([]float64, dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Reset()
+		for _, w := range order {
+			for _, msg := range msgs[w] {
+				dec.Offer(msg)
 			}
-			dec := plan.NewDecoder()
-			dst := make([]float64, benchGradDim)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dec.Reset()
-				for _, w := range order {
-					for _, msg := range msgs[w] {
-						dec.Offer(msg)
-					}
-					if dec.Decodable() {
-						break
-					}
-				}
-				if err := dec.DecodeInto(dst); err != nil {
-					b.Fatal(err)
-				}
+			if dec.Decodable() {
+				break
 			}
-		})
+		}
+		if err := dec.DecodeInto(dst); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

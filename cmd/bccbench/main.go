@@ -9,6 +9,11 @@
 //
 // Experiment ids: fig2, fig4, table1, table2, fig5, theorem1, theorem2,
 // commload, fractional, tailbound, all.
+//
+// -sweep switches to the compute-plane sweep instead (dense-vs-sparse
+// worker gradients across densities and dimensions, decode across payload
+// sizes and DecodeParallelism), writing a JSON report (-sweep-out,
+// default BENCH_PR5.json); -sweep-quick shrinks it to CI-smoke sizes.
 package main
 
 import (
@@ -26,20 +31,30 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		trials  = flag.Int("trials", 0, "Monte-Carlo trials (0 = per-experiment default)")
-		iters   = flag.Int("iters", 0, "training iterations for fig4/tables (0 = 100, as in the paper)")
-		full    = flag.Bool("full", false, "paper-size data for fig4 (p=8000, 100 points per example)")
-		quick   = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
-		timeout = flag.Duration("timeout", 0, "deadline for the whole suite (0 = none); Ctrl-C also aborts cleanly")
-		csvDir  = flag.String("csv", "", "directory to also write <id>.csv files into")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "all", "experiment id or 'all'")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		trials     = flag.Int("trials", 0, "Monte-Carlo trials (0 = per-experiment default)")
+		iters      = flag.Int("iters", 0, "training iterations for fig4/tables (0 = 100, as in the paper)")
+		full       = flag.Bool("full", false, "paper-size data for fig4 (p=8000, 100 points per example)")
+		quick      = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
+		timeout    = flag.Duration("timeout", 0, "deadline for the whole suite (0 = none); Ctrl-C also aborts cleanly")
+		csvDir     = flag.String("csv", "", "directory to also write <id>.csv files into")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		sweep      = flag.Bool("sweep", false, "run the compute-plane sweep (dense-vs-sparse gradients × density, decode × parallelism) instead of paper artifacts")
+		sweepOut   = flag.String("sweep-out", "BENCH_PR5.json", "where -sweep writes its JSON report")
+		sweepQuick = flag.Bool("sweep-quick", false, "tiny -sweep sizes for a fast smoke run")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *sweep {
+		if err := runSweep(*sweepOut, *sweepQuick); err != nil {
+			fmt.Fprintf(os.Stderr, "bccbench: sweep: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

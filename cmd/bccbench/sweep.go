@@ -1,0 +1,230 @@
+package main
+
+// The compute-plane sweep behind BENCH_PR5.json: dense-vs-sparse worker
+// gradient cost across densities and dimensions, and the master's decode
+// path across payload sizes and DecodeParallelism levels. Run with
+//
+//	bccbench -sweep                       # full sizes, writes BENCH_PR5.json
+//	bccbench -sweep -sweep-quick          # tiny sizes for the CI smoke step
+//
+// Every measurement uses testing.Benchmark, so ns/op and allocs/op follow
+// the same methodology as `go test -bench`.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"bcc/internal/coding"
+	"bcc/internal/dataset"
+	"bcc/internal/model"
+	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
+)
+
+type sweepGradient struct {
+	P        int     `json:"p"`
+	Density  float64 `json:"density"`
+	Rows     int     `json:"rows"`
+	NNZ      int     `json:"nnz"`
+	DenseNs  float64 `json:"dense_ns_op"`
+	CSRNs    float64 `json:"csr_ns_op"`
+	Speedup  float64 `json:"speedup"`
+	CSRAlloc int64   `json:"csr_allocs_op"`
+}
+
+type sweepDecode struct {
+	Scheme   string  `json:"scheme"`
+	P        int     `json:"p"`
+	Parallel int     `json:"parallelism"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+type sweepReport struct {
+	PR          int               `json:"pr"`
+	Title       string            `json:"title"`
+	Environment map[string]string `json:"environment"`
+	Notes       []string          `json:"notes"`
+	Gradient    []sweepGradient   `json:"gradient"`
+	Decode      []sweepDecode     `json:"decode"`
+}
+
+// runSweep executes the dense-vs-sparse × density × parallelism sweep and
+// writes the JSON report to path.
+func runSweep(path string, quick bool) error {
+	dims := []int{1024, 16384}
+	rows := 256
+	decM, decN, decR := 50, 50, 10
+	if quick {
+		dims = []int{128, 512}
+		rows = 32
+		decM, decN, decR = 10, 10, 2
+	}
+	densities := []float64{1, 0.05, 0.01}
+	rep := &sweepReport{
+		PR:    5,
+		Title: "Sparse-aware compute plane: CSR datasets, O(nnz) gradient kernels, parallel decode",
+		Environment: map[string]string{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"go":         runtime.Version(),
+			"numcpu":     fmt.Sprintf("%d", runtime.NumCPU()),
+			"gomaxprocs": fmt.Sprintf("%d", runtime.GOMAXPROCS(0)),
+		},
+		Notes: []string{
+			"gradient: full-pass worker gradient (model.FullGradientInto, logistic) over `rows` points at dimension p; dense visits all rows*p entries, CSR only the nnz stored ones — bit-identical results, speedup = dense_ns/csr_ns",
+			"decode: BenchmarkDecode methodology (offer-until-decodable + DecodeInto on a reused decoder, m=n=" + fmt.Sprint(decN) + " r=" + fmt.Sprint(decR) + "); parallelism > 1 shards the decode combination element-wise with bit-identical output",
+			"parallelism speedups require gomaxprocs > 1: vecmath.Shard caps the fan-out at GOMAXPROCS, so on a single-CPU host the parallel rows degrade to the serial partition (one chunk) and measure only the fixed sharding overhead (one closure alloc per decode), not a win",
+			"serial decode rows (parallelism=1) pin the zero-steady-state-alloc invariant of the PR 3 data plane (allocs_op 0 after the one-time solve-cache warmup); compare ns_op against BENCH_PR3.json decode at p=1024 under the same methodology",
+		},
+	}
+	for _, p := range dims {
+		for _, density := range densities {
+			g, err := benchGradient(rows, p, density)
+			if err != nil {
+				return err
+			}
+			rep.Gradient = append(rep.Gradient, g)
+			fmt.Printf("gradient p=%-6d density=%-5.2f dense=%-12.0f csr=%-12.0f speedup=%.1fx\n",
+				p, density, g.DenseNs, g.CSRNs, g.Speedup)
+		}
+	}
+	for _, scheme := range []string{"cyclicrep", "cyclicmds", "bccmulti"} {
+		for _, p := range dims {
+			for _, par := range []int{1, 2, 4} {
+				d, err := benchDecode(scheme, decM, decN, decR, p, par)
+				if err != nil {
+					return err
+				}
+				rep.Decode = append(rep.Decode, d)
+				fmt.Printf("decode %-10s p=%-6d par=%d  %-12.0f ns/op  %d allocs/op\n",
+					scheme, p, par, d.NsOp, d.AllocsOp)
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("sweep written to %s\n", path)
+	return nil
+}
+
+// benchGradient measures one full worker-gradient pass over a synthetic
+// dataset at the given dimension and density, dense vs CSR.
+func benchGradient(rows, p int, density float64) (sweepGradient, error) {
+	gen := density
+	if gen >= 1 {
+		gen = 0 // dense generator
+	}
+	ds, err := dataset.Generate(dataset.Config{N: rows, Dim: p, Separation: 1.5, Density: gen}, rngutil.New(11))
+	if err != nil {
+		return sweepGradient{}, err
+	}
+	var sparseX, denseX vecmath.AnyMatrix
+	if csr, ok := ds.Sparse(); ok {
+		sparseX, denseX = csr, csr.ToDense()
+	} else {
+		m := ds.X.(*vecmath.Matrix)
+		sparseX, denseX = vecmath.CSRFromDense(m), m
+	}
+	w := make([]float64, p)
+	rng := rngutil.New(12)
+	for i := range w {
+		w[i] = rng.Normal()
+	}
+	run := func(x vecmath.AnyMatrix) testing.BenchmarkResult {
+		mod := &model.Logistic{Data: &dataset.Dataset{X: x, Y: ds.Y}}
+		out := make([]float64, p)
+		rowIdx := model.AllRows(rows)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				model.FullGradientInto(mod, w, out, rowIdx)
+			}
+		})
+	}
+	dres := run(denseX)
+	sres := run(sparseX)
+	g := sweepGradient{
+		P:        p,
+		Density:  density,
+		Rows:     rows,
+		NNZ:      sparseX.NNZ(),
+		DenseNs:  float64(dres.NsPerOp()),
+		CSRNs:    float64(sres.NsPerOp()),
+		CSRAlloc: sres.AllocsPerOp(),
+	}
+	if g.CSRNs > 0 {
+		g.Speedup = g.DenseNs / g.CSRNs
+	}
+	return g, nil
+}
+
+// benchDecode measures one offer-until-decodable round plus DecodeInto on a
+// reused decoder, exactly like the package BenchmarkDecode.
+func benchDecode(scheme string, m, n, r, p, par int) (sweepDecode, error) {
+	s, err := coding.Lookup(scheme)
+	if err != nil {
+		return sweepDecode{}, err
+	}
+	plan, err := s.Plan(m, n, r, rngutil.New(1))
+	if err != nil {
+		return sweepDecode{}, err
+	}
+	rng := rngutil.New(2)
+	gs := make([][]float64, m)
+	for u := range gs {
+		g := make([]float64, p)
+		for t := range g {
+			g[t] = rng.Normal()
+		}
+		gs[u] = g
+	}
+	assign := plan.Assignments()
+	order := rngutil.New(3).Perm(n)
+	msgs := make([][]coding.Message, n)
+	for _, w := range order {
+		parts := make([][]float64, len(assign[w]))
+		for k, u := range assign[w] {
+			parts[k] = gs[u]
+		}
+		msgs[w] = coding.Encode(plan, w, parts)
+	}
+	dec := plan.NewDecoder()
+	coding.SetDecodeParallelism(dec, par)
+	dst := make([]float64, p)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dec.Reset()
+			for _, w := range order {
+				for _, msg := range msgs[w] {
+					dec.Offer(msg)
+				}
+				if dec.Decodable() {
+					break
+				}
+			}
+			if err := dec.DecodeInto(dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return sweepDecode{
+		Scheme:   scheme,
+		P:        p,
+		Parallel: par,
+		NsOp:     float64(res.NsPerOp()),
+		AllocsOp: res.AllocsPerOp(),
+	}, nil
+}

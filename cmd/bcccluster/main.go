@@ -38,25 +38,26 @@ func main() {
 	role := os.Args[1]
 	fs := flag.NewFlagSet(role, flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:9777", "master listen/dial address")
-		scheme   = fs.String("scheme", "bcc", "gradient-coding scheme")
-		m        = fs.Int("m", 12, "example units")
-		n        = fs.Int("n", 4, "workers")
-		r        = fs.Int("r", 3, "computational load")
-		iters    = fs.Int("iters", 20, "gradient iterations")
-		points   = fs.Int("points", 10, "data points per unit")
-		dim      = fs.Int("dim", 100, "feature dimension")
-		seed     = fs.Uint64("seed", 1, "shared seed (must match across processes)")
-		index    = fs.Int("index", 0, "worker index (worker role only)")
-		wait     = fs.Duration("timeout", 60*time.Second, "per-iteration / accept timeout")
-		codec    = fs.String("codec", "gob", "frame encoding: gob|wire (must match across processes)")
-		pipe     = fs.Bool("pipelined", false, "pipelined iterations: cancel stale in-flight work on a fresher query (must match across processes)")
-		drop     = fs.Float64("drop", 0, "master-side probability in [0,1) of losing each worker transmission")
-		dropSeed = fs.Uint64("drop-seed", 0, "seed for the -drop fault pattern (master role only)")
-		faultsN  = fs.String("faults", "", "named fault scenario: "+strings.Join(faults.Names(), "|")+" (must match across processes)")
-		faultSd  = fs.Uint64("fault-seed", 0, "seed for the -faults scenario (0 = derive from -seed; must match across processes)")
-		parallel = fs.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
-		progress = fs.Bool("progress", false, "master: print a live per-iteration progress line")
+		addr      = fs.String("addr", "127.0.0.1:9777", "master listen/dial address")
+		scheme    = fs.String("scheme", "bcc", "gradient-coding scheme")
+		m         = fs.Int("m", 12, "example units")
+		n         = fs.Int("n", 4, "workers")
+		r         = fs.Int("r", 3, "computational load")
+		iters     = fs.Int("iters", 20, "gradient iterations")
+		points    = fs.Int("points", 10, "data points per unit")
+		dim       = fs.Int("dim", 100, "feature dimension")
+		seed      = fs.Uint64("seed", 1, "shared seed (must match across processes)")
+		index     = fs.Int("index", 0, "worker index (worker role only)")
+		wait      = fs.Duration("timeout", 60*time.Second, "per-iteration / accept timeout")
+		codec     = fs.String("codec", "gob", "frame encoding: gob|wire (must match across processes)")
+		pipe      = fs.Bool("pipelined", false, "pipelined iterations: cancel stale in-flight work on a fresher query (must match across processes)")
+		drop      = fs.Float64("drop", 0, "master-side probability in [0,1) of losing each worker transmission")
+		dropSeed  = fs.Uint64("drop-seed", 0, "seed for the -drop fault pattern (master role only)")
+		faultsN   = fs.String("faults", "", "named fault scenario: "+strings.Join(faults.Names(), "|")+" (must match across processes)")
+		faultSd   = fs.Uint64("fault-seed", 0, "seed for the -faults scenario (0 = derive from -seed; must match across processes)")
+		parallel  = fs.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
+		decodePar = fs.Int("decode-parallel", 0, "master: goroutines for the decode combination (0/1 = serial; bit-identical results)")
+		progress  = fs.Bool("progress", false, "master: print a live per-iteration progress line")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fail(err)
@@ -104,6 +105,7 @@ func main() {
 			DropSeed:           *dropSeed,
 			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
+			DecodeParallelism:  *decodePar,
 		}
 		if *progress {
 			cfg.Observer = cluster.ObserverFuncs{Iteration: func(st cluster.IterStats) {

@@ -70,6 +70,13 @@ type Config struct {
 	// accumulates into its own buffer, so results are bit-for-bit identical
 	// to the serial path.
 	ComputeParallelism int
+	// DecodeParallelism shards the master's per-iteration decode combination
+	// — the p-dimensional linear fold of cyclicrep/cyclicmds/bccmulti — over
+	// this many goroutines (0/1 = serial). The sharding is element-wise with
+	// deterministic fixed shards, so decoded gradients are bit-for-bit
+	// identical to the serial path on every runtime; schemes without a
+	// dimension-wise combination ignore the knob.
+	DecodeParallelism int
 	// Pipelined makes the master broadcast iteration k+1's query the moment
 	// iteration k decodes, with workers cancelling stale in-flight work as
 	// soon as the fresher query reaches them — instead of serializing
@@ -134,6 +141,9 @@ func (c *Config) validate() error {
 	}
 	if c.ComputeParallelism < 0 {
 		return fmt.Errorf("cluster: ComputeParallelism %d must be non-negative", c.ComputeParallelism)
+	}
+	if c.DecodeParallelism < 0 {
+		return fmt.Errorf("cluster: DecodeParallelism %d must be non-negative", c.DecodeParallelism)
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("cluster: CheckpointEvery %d must be non-negative", c.CheckpointEvery)

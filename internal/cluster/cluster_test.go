@@ -23,8 +23,16 @@ import (
 // computations.
 func buildRun(t *testing.T, scheme string, m, n, r, iterations int, seed uint64, lat Latency) (*Config, *model.Logistic) {
 	t.Helper()
+	return buildRunDim(t, scheme, m, n, r, iterations, seed, lat, 12)
+}
+
+// buildRunDim is buildRun at a chosen feature dimension — the decode
+// parallelism tests need dim >= 1024, vecmath.Shard's inline cutoff, or the
+// sharded path under test never actually fans out.
+func buildRunDim(t *testing.T, scheme string, m, n, r, iterations int, seed uint64, lat Latency, dim int) (*Config, *model.Logistic) {
+	t.Helper()
 	rng := rngutil.New(seed)
-	ds, err := dataset.Generate(dataset.Config{N: 4 * m, Dim: 12, Separation: 1.5}, rng.Split())
+	ds, err := dataset.Generate(dataset.Config{N: 4 * m, Dim: dim, Separation: 1.5}, rng.Split())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,6 +418,65 @@ func TestComputeParallelismBitExact(t *testing.T) {
 		if d := vecmath.MaxAbsDiff(serial.FinalW, parallel.FinalW); d != 0 {
 			t.Fatalf("parallelism %d diverged from serial by %v", par, d)
 		}
+	}
+}
+
+// TestDecodeParallelismBitExact mirrors TestComputeParallelismBitExact for
+// the master's decode fan-out: every parallelism level must reproduce the
+// serial run's final weights bit-for-bit, on every scheme whose decode
+// combination is sharded. Dim 1500 exceeds vecmath.Shard's inline cutoff
+// (1024), so the parallel levels genuinely fan out instead of folding back
+// to the serial code path.
+func TestDecodeParallelismBitExact(t *testing.T) {
+	for _, scheme := range []string{"cyclicrep", "cyclicmds", "bccmulti"} {
+		t.Run(scheme, func(t *testing.T) {
+			run := func(par int) *Result {
+				cfg, _ := buildRunDim(t, scheme, 16, 16, 4, 6, 34, Zero{}, 1500)
+				cfg.DecodeParallelism = par
+				res, err := RunSim(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial := run(0)
+			for _, par := range []int{2, 4, 8, 64} {
+				parallel := run(par)
+				if d := vecmath.MaxAbsDiff(serial.FinalW, parallel.FinalW); d != 0 {
+					t.Fatalf("decode parallelism %d diverged from serial by %v", par, d)
+				}
+				for i := range serial.Iters {
+					if serial.Iters[i].GradNorm != parallel.Iters[i].GradNorm {
+						t.Fatalf("decode parallelism %d changed iter %d gradient norm", par, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeParallelismLiveRuntime checks the knob end to end on the live
+// transport (the decode runs on the master engine, so every runtime shares
+// the same sharded path). The staggered latency fixes the arrival ORDER:
+// cyclicrep's decode coefficients depend on which responder subset arrives
+// first, so only runs with identical arrival orders are comparable
+// bit-for-bit.
+func TestDecodeParallelismLiveRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("staggered live runs sleep real time")
+	}
+	mk := func(par int) *Result {
+		cfg, _ := buildRunDim(t, "cyclicrep", 8, 8, 2, 4, 35, staggered(8, 4*2), 1500)
+		cfg.DecodeParallelism = par
+		res, err := RunLive(cfg, LiveOptions{TimeScale: liveEquivScale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(0), mk(4)
+	if d := vecmath.MaxAbsDiff(a.FinalW, b.FinalW); d != 0 {
+		t.Fatalf("live parallel decode diverged by %v", d)
 	}
 }
 

@@ -139,6 +139,7 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 	traits := tr.Traits()
 	virtual := traits.Virtual
 	dec := cfg.Plan.NewDecoder()
+	coding.SetDecodeParallelism(dec, cfg.DecodeParallelism)
 	grad := make([]float64, cfg.Model.Dim())
 	var lossRows []int   // AllRows scratch for LossEvery evaluations
 	var used [][]float64 // consumed payload buffers, recycled post-decode

@@ -190,7 +190,11 @@ type coverageDecoder struct {
 	units    float64
 	covered  int
 	scale    func(covered int) float64
+	par      int // DecodeInto goroutine fan-out (0/1 = serial)
 }
+
+// SetDecodeParallelism implements ParallelDecoder.
+func (d *coverageDecoder) SetDecodeParallelism(workers int) { d.par = workers }
 
 func (d *coverageDecoder) Offer(msg Message) bool {
 	if d.Decodable() {
@@ -210,12 +214,20 @@ func (d *coverageDecoder) Offer(msg Message) bool {
 
 func (d *coverageDecoder) Decodable() bool { return d.covered >= d.need }
 
+// DecodeInto sums the kept batch messages (scaled for the approximate
+// schemes). With SetDecodeParallelism > 1 the fold is sharded over the
+// output dimensions, bit-for-bit equal to the serial slot-order sum.
 func (d *coverageDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
 		return ErrNotDecodable
 	}
+	s := d.scale(d.covered)
+	if d.par > 1 {
+		sumSparseScaledInto(dst, d.kept, s, d.par)
+		return nil
+	}
 	sumSparseInto(dst, d.kept)
-	if s := d.scale(d.covered); s != 1 {
+	if s != 1 {
 		vecmath.Scale(s, dst)
 	}
 	return nil

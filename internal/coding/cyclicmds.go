@@ -93,12 +93,12 @@ func (p *mdsPlan) Assignments() [][]int    { return p.assign }
 // Matrix exposes the complex coding matrix for tests.
 func (p *mdsPlan) Matrix() *linalg.CMatrix { return p.b }
 
-func (p *mdsPlan) WorstCaseThreshold() int    { return p.n - p.s }
+func (p *mdsPlan) WorstCaseThreshold() int { return p.n - p.s }
 
 // MinResponders implements the exact converse bound: an MDS code over the
 // workers cannot be decoded from fewer than n-s shares, regardless of which
 // shares arrive.
-func (p *mdsPlan) MinResponders() int { return p.n - p.s }
+func (p *mdsPlan) MinResponders() int         { return p.n - p.s }
 func (p *mdsPlan) ExpectedThreshold() float64 { return float64(p.n - p.s) }
 func (p *mdsPlan) CommLoadPerWorker() float64 { return 1 }
 
@@ -144,12 +144,16 @@ type mdsDecoder struct {
 	re, im  [][]float64
 	units   float64
 	coeffs  []complex128
+	par     int // DecodeInto goroutine fan-out (0/1 = serial)
 
 	// Scratch reused across iterations (see codedDecoder).
 	sortBuf  []int
 	keyBuf   []byte
 	coeffBuf []complex128
 }
+
+// SetDecodeParallelism implements ParallelDecoder.
+func (d *mdsDecoder) SetDecodeParallelism(workers int) { d.par = workers }
 
 func (d *mdsDecoder) Offer(msg Message) bool {
 	if d.Decodable() {
@@ -221,20 +225,40 @@ func (d *mdsDecoder) Decodable() bool { return d.coeffs != nil }
 // DecodeInto combines the complex messages and writes the real part; the
 // imaginary part of the true combination is identically zero (the decode
 // identity sum_i a_i B[i][u] = 1 holds in C and the gradients are real).
+// With SetDecodeParallelism > 1 the output dimensions are sharded across
+// goroutines; each element folds its per-worker terms in the same order as
+// the serial loop, so results are bit-for-bit identical.
 func (d *mdsDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
 		return ErrNotDecodable
 	}
-	vecmath.Fill(dst, 0)
+	if d.par > 1 {
+		vecmath.Shard(len(dst), d.par, func(lo, hi int) {
+			d.decodeRange(dst, lo, hi)
+		})
+	} else {
+		// Plain call: the serial hot path must not pay the heap-allocated
+		// closure the goroutine fan-out needs.
+		d.decodeRange(dst, 0, len(dst))
+	}
+	return nil
+}
+
+// decodeRange combines output dimensions [lo, hi): each element folds its
+// per-worker terms in coefficient order, so any partition of the dimensions
+// reproduces the serial result bit-for-bit.
+func (d *mdsDecoder) decodeRange(dst []float64, lo, hi int) {
+	for t := lo; t < hi; t++ {
+		dst[t] = 0
+	}
 	for i, a := range d.coeffs {
 		ar, ai := real(a), imag(a)
 		re, im := d.re[i], d.im[i]
-		for t := range dst {
+		for t := lo; t < hi; t++ {
 			// Re[(ar + i*ai)(re + i*im)] = ar*re - ai*im
 			dst[t] += ar*re[t] - ai*im[t]
 		}
 	}
-	return nil
 }
 
 func (d *mdsDecoder) WorkersHeard() int      { return len(d.workers) }

@@ -249,14 +249,14 @@ type partitionedPlan struct {
 	holders int
 }
 
-func (p *partitionedPlan) Scheme() string             { return "partitioned" }
-func (p *partitionedPlan) Params() (int, int, int)    { return p.m, p.n, p.r }
-func (p *partitionedPlan) Assignments() [][]int       { return p.assign }
-func (p *partitionedPlan) WorstCaseThreshold() int    { return p.holders }
+func (p *partitionedPlan) Scheme() string          { return "partitioned" }
+func (p *partitionedPlan) Params() (int, int, int) { return p.m, p.n, p.r }
+func (p *partitionedPlan) Assignments() [][]int    { return p.assign }
+func (p *partitionedPlan) WorstCaseThreshold() int { return p.holders }
 
 // MinResponders implements the exact converse bound: the partitioned
 // baseline has zero redundancy, so every data-holding worker is required.
-func (p *partitionedPlan) MinResponders() int { return p.holders }
+func (p *partitionedPlan) MinResponders() int         { return p.holders }
 func (p *partitionedPlan) ExpectedThreshold() float64 { return float64(p.holders) }
 func (p *partitionedPlan) CommLoadPerWorker() float64 { return 1 }
 

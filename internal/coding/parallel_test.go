@@ -1,0 +1,111 @@
+package coding
+
+import (
+	"fmt"
+	"testing"
+
+	"bcc/internal/rngutil"
+	"bcc/internal/vecmath"
+)
+
+// encodeAll builds one iteration's messages for every worker of the plan at
+// the given payload dimension.
+func encodeAll(t *testing.T, plan Plan, dim int, seed uint64) [][]Message {
+	t.Helper()
+	m, n, _ := plan.Params()
+	rng := rngutil.New(seed)
+	gs := make([][]float64, m)
+	for u := range gs {
+		g := make([]float64, dim)
+		for i := range g {
+			g[i] = rng.Normal()
+		}
+		gs[u] = g
+	}
+	assign := plan.Assignments()
+	msgs := make([][]Message, n)
+	for w := 0; w < n; w++ {
+		parts := make([][]float64, len(assign[w]))
+		for k, u := range assign[w] {
+			parts[k] = gs[u]
+		}
+		msgs[w] = Encode(plan, w, parts)
+	}
+	return msgs
+}
+
+// decodeWith runs one offer-until-decodable round at the given decode
+// parallelism and returns the decoded gradient.
+func decodeWith(t *testing.T, plan Plan, msgs [][]Message, order []int, dim, par int) []float64 {
+	t.Helper()
+	dec := plan.NewDecoder()
+	SetDecodeParallelism(dec, par)
+	for _, w := range order {
+		for _, msg := range msgs[w] {
+			dec.Offer(msg)
+		}
+		if dec.Decodable() {
+			break
+		}
+	}
+	dst := make([]float64, dim)
+	if err := dec.DecodeInto(dst); err != nil {
+		t.Fatalf("par=%d: %v", par, err)
+	}
+	return dst
+}
+
+// TestDecodeParallelismBitExactSchemes pins the decode-parallelism
+// contract at the coding layer: for every scheme with a sharded DecodeInto,
+// every worker count reproduces the serial decode bit-for-bit — including
+// payload dimensions above and below the Shard inline cutoff.
+func TestDecodeParallelismBitExactSchemes(t *testing.T) {
+	const m, n, r = 24, 24, 6
+	for _, scheme := range []string{"cyclicrep", "cyclicmds", "bccmulti", "bccapprox"} {
+		for _, dim := range []int{64, 2048} {
+			t.Run(fmt.Sprintf("%s/p=%d", scheme, dim), func(t *testing.T) {
+				s, err := Lookup(scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan, err := s.Plan(m, n, r, rngutil.New(3))
+				if err != nil {
+					t.Skipf("%s rejects m=%d n=%d r=%d: %v", scheme, m, n, r, err)
+				}
+				if _, ok := plan.NewDecoder().(ParallelDecoder); !ok {
+					t.Fatalf("%s decoder does not implement ParallelDecoder", scheme)
+				}
+				msgs := encodeAll(t, plan, dim, 4)
+				order := rngutil.New(5).Perm(n)
+				ref := decodeWith(t, plan, msgs, order, dim, 0)
+				for _, par := range []int{2, 3, 8, 64} {
+					got := decodeWith(t, plan, msgs, order, dim, par)
+					if d := vecmath.MaxAbsDiff(ref, got); d != 0 {
+						t.Fatalf("dim %d par %d diverged from serial by %v", dim, par, d)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSetDecodeParallelismNoOp pins that schemes without a sharded decode
+// accept the knob silently (the engine sets it unconditionally).
+func TestSetDecodeParallelismNoOp(t *testing.T) {
+	s, err := Lookup("uncoded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Plan(8, 8, 1, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := plan.NewDecoder()
+	SetDecodeParallelism(dec, 8) // must not panic
+	msgs := encodeAll(t, plan, 32, 2)
+	got := decodeWith(t, plan, msgs, rngutil.New(3).Perm(8), 32, 8)
+	want := decodeWith(t, plan, msgs, rngutil.New(3).Perm(8), 32, 0)
+	if vecmath.MaxAbsDiff(got, want) != 0 {
+		t.Fatal("uncoded decode changed under the parallelism knob")
+	}
+}

@@ -394,3 +394,74 @@ func sumSparseInto(dst []float64, vs [][]float64) {
 		panic("coding: decode with no kept vectors")
 	}
 }
+
+// sumSparseScaledInto is the sharded form of sumSparseInto followed by a
+// Scale: the OUTPUT elements are partitioned across up to `workers`
+// goroutines, and every element folds its terms in the same slot order as
+// the serial kernel before applying the scale factor — so results are
+// bit-for-bit identical to sumSparseInto + Scale for every worker count.
+// workers <= 1 runs inline.
+func sumSparseScaledInto(dst []float64, vs [][]float64, scale float64, workers int) {
+	any := false
+	for _, v := range vs {
+		if v != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		panic("coding: decode with no kept vectors")
+	}
+	if workers < 1 {
+		workers = 1 // Shard reads 0 as DefaultParallelism; unset means serial
+	}
+	vecmath.Shard(len(dst), workers, func(lo, hi int) {
+		first := true
+		for _, v := range vs {
+			if v == nil {
+				continue
+			}
+			if first {
+				copy(dst[lo:hi], v[lo:hi])
+				first = false
+				continue
+			}
+			for t := lo; t < hi; t++ {
+				dst[t] += v[t]
+			}
+		}
+		if scale != 1 {
+			for t := lo; t < hi; t++ {
+				dst[t] *= scale
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Decode parallelism
+// ---------------------------------------------------------------------------
+
+// ParallelDecoder is the optional Decoder capability behind the engine's
+// DecodeParallelism knob: decoders whose DecodeInto is a p-dimensional
+// linear combination (cyclicrep, cyclicmds, the batch-coverage decoders)
+// shard that combination across up to `workers` goroutines. The sharding is
+// element-wise over the output vector with every element folding its terms
+// in the serial order, so decoded gradients are bit-for-bit identical to
+// the serial path for every worker count.
+type ParallelDecoder interface {
+	Decoder
+	// SetDecodeParallelism fixes the goroutine fan-out of subsequent
+	// DecodeInto calls (0/1 = serial). Callers set it once after NewDecoder,
+	// before the decoder is shared with the iteration loop.
+	SetDecodeParallelism(workers int)
+}
+
+// SetDecodeParallelism applies the decode fan-out to decoders that support
+// it and is a no-op for the rest (a scheme whose decode is not a dimension-
+// wise combination has nothing to shard).
+func SetDecodeParallelism(d Decoder, workers int) {
+	if pd, ok := d.(ParallelDecoder); ok {
+		pd.SetDecodeParallelism(workers)
+	}
+}

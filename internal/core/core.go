@@ -190,6 +190,11 @@ type Spec struct {
 	StandardLabels bool
 	// Lambda is the L2 regularization strength (paper: 0).
 	Lambda float64
+	// Density, when in (0, 1), generates a SPARSE dataset (CSR storage,
+	// each feature nonzero with this probability) — the news20/RCV1-style
+	// workload class; worker gradient cost drops from O(rows*p) to O(nnz).
+	// 0 (default) and 1 keep the paper's dense generator.
+	Density float64
 
 	// --- distribution ---
 	// Examples is m, the number of coded work units.
@@ -244,6 +249,11 @@ type Spec struct {
 	// computations out over this many goroutines (0/1 = serial); results
 	// are bit-for-bit identical to the serial path.
 	ComputeParallelism int
+	// DecodeParallelism shards the master's per-iteration decode
+	// combination (cyclicrep/cyclicmds/bccmulti) over this many goroutines
+	// (0/1 = serial); element-wise sharding keeps decoded gradients
+	// bit-for-bit identical to the serial path on every runtime.
+	DecodeParallelism int
 	// Runtime is RuntimeSim (default), RuntimeLive (goroutines+channels)
 	// or RuntimeTCP (goroutines over loopback sockets). All three run the
 	// same master engine over different transports.
@@ -336,6 +346,12 @@ func (s *Spec) validateOptions() error {
 	if s.ComputeParallelism < 0 {
 		return &OptionError{Option: "ComputeParallelism", Value: fmt.Sprintf("%d", s.ComputeParallelism), Reason: "must be non-negative"}
 	}
+	if s.DecodeParallelism < 0 {
+		return &OptionError{Option: "DecodeParallelism", Value: fmt.Sprintf("%d", s.DecodeParallelism), Reason: "must be non-negative"}
+	}
+	if s.Density < 0 || s.Density > 1 {
+		return &OptionError{Option: "Density", Value: fmt.Sprintf("%v", s.Density), Reason: "outside [0, 1]"}
+	}
 	if s.CheckpointEvery < 0 {
 		return &OptionError{Option: "CheckpointEvery", Value: fmt.Sprintf("%d", s.CheckpointEvery), Reason: "must be non-negative"}
 	}
@@ -397,6 +413,7 @@ func NewJob(spec Spec) (*Job, error) {
 		Dim:            s.Dim,
 		Separation:     s.Separation,
 		StandardLabels: s.StandardLabels,
+		Density:        s.Density,
 	}, rng.Split())
 	if err != nil {
 		return nil, err
@@ -471,6 +488,7 @@ func (j *Job) clusterConfig() *cluster.Config {
 		DropSeed:           j.Spec.DropSeed,
 		Faults:             j.Faults,
 		ComputeParallelism: j.Spec.ComputeParallelism,
+		DecodeParallelism:  j.Spec.DecodeParallelism,
 		LossEvery:          j.Spec.LossEvery,
 		Trace:              j.Spec.Trace,
 		Pipelined:          j.Spec.Pipelined,

@@ -23,18 +23,32 @@ import (
 )
 
 // Dataset is a fixed design matrix with +-1 labels and (for synthetic data)
-// the generating weight vector.
+// the generating weight vector. The feature matrix is an AnyMatrix: dense
+// row-major storage for the paper's Gaussian-mixture generator, CSR for the
+// sparse generator (Config.Density) and LIBSVM-loaded data — the gradient
+// kernels cost O(nnz) on the latter.
 type Dataset struct {
-	X     *vecmath.Matrix // d x p row-major feature matrix
-	Y     []float64       // labels in {-1, +1}, length d
-	WStar []float64       // generating weights (nil for non-synthetic data)
+	X     vecmath.AnyMatrix // d x p feature matrix (dense or CSR)
+	Y     []float64         // labels in {-1, +1}, length d
+	WStar []float64         // generating weights (nil for non-synthetic data)
 }
 
 // N returns the number of data points.
-func (d *Dataset) N() int { return d.X.Rows }
+func (d *Dataset) N() int { rows, _ := d.X.Dims(); return rows }
 
 // Dim returns the feature dimension p.
-func (d *Dataset) Dim() int { return d.X.Cols }
+func (d *Dataset) Dim() int { _, cols := d.X.Dims(); return cols }
+
+// NNZ returns the number of stored feature entries (rows*cols for dense
+// datasets).
+func (d *Dataset) NNZ() int { return d.X.NNZ() }
+
+// Sparse reports whether the feature matrix is CSR-compressed, returning it
+// if so.
+func (d *Dataset) Sparse() (*vecmath.CSR, bool) {
+	c, ok := d.X.(*vecmath.CSR)
+	return c, ok
+}
 
 // Config parameterizes the synthetic generator.
 type Config struct {
@@ -48,6 +62,12 @@ type Config struct {
 	// P(y=+1) = 1/(exp(x^T w*)+1) = sigma(-x^T w*); we implement both and
 	// default to the paper's.
 	StandardLabels bool
+	// Density, when in (0, 1), switches to the sparse generator: each
+	// feature is nonzero independently with this probability, stored in CSR
+	// form, and the label margin is computed over the support only — the
+	// news20/RCV1-style workload class of the gradient-coding evaluations.
+	// 0 (and 1) select the paper's dense Gaussian-mixture generator.
+	Density float64
 }
 
 // DefaultConfig mirrors the paper's generator at a laptop-friendly scale.
@@ -55,10 +75,17 @@ func DefaultConfig() Config {
 	return Config{N: 1000, Dim: 200, Separation: 1.5}
 }
 
-// Generate draws a synthetic dataset according to cfg using rng.
+// Generate draws a synthetic dataset according to cfg using rng. With
+// Density in (0, 1) the features are drawn sparse and stored in CSR form;
+// otherwise the paper's dense Gaussian-mixture generator runs unchanged
+// (same draw sequence as before Density existed, so existing seeds keep
+// reproducing their datasets bit-for-bit).
 func Generate(cfg Config, rng *rngutil.RNG) (*Dataset, error) {
 	if cfg.N <= 0 || cfg.Dim <= 0 {
 		return nil, fmt.Errorf("dataset: invalid config N=%d Dim=%d", cfg.N, cfg.Dim)
+	}
+	if cfg.Density < 0 || cfg.Density > 1 {
+		return nil, fmt.Errorf("dataset: Density %v outside [0, 1]", cfg.Density)
 	}
 	sep := cfg.Separation
 	if sep == 0 {
@@ -73,6 +100,9 @@ func Generate(cfg Config, rng *rngutil.RNG) (*Dataset, error) {
 			wstar[i] = -1
 		}
 	}
+	if cfg.Density > 0 && cfg.Density < 1 {
+		return generateSparse(cfg, sep, wstar, rng)
+	}
 	x := vecmath.NewMatrix(cfg.N, p)
 	y := make([]float64, cfg.N)
 	scale := sep / float64(p)
@@ -86,17 +116,61 @@ func Generate(cfg Config, rng *rngutil.RNG) (*Dataset, error) {
 			row[j] = sign*scale*wstar[j] + rng.Normal()
 		}
 		margin := vecmath.Dot(row, wstar)
-		kappa := sigmoid(-margin) // paper: 1/(exp(x^T w*)+1)
-		if cfg.StandardLabels {
-			kappa = sigmoid(margin)
-		}
-		if rng.Bernoulli(kappa) {
-			y[i] = 1
-		} else {
-			y[i] = -1
-		}
+		y[i] = drawLabel(cfg, margin, rng)
 	}
 	return &Dataset{X: x, Y: y, WStar: wstar}, nil
+}
+
+// generateSparse is the CSR generator behind Config.Density: feature j of
+// point i is nonzero with probability Density, and a nonzero entry carries
+// the same class-mean-plus-noise value as the dense generator. The label
+// margin runs over the support only, so the classes stay separable along
+// w* restricted to each point's nonzero coordinates. The whole dataset is a
+// pure function of (cfg, rng state).
+func generateSparse(cfg Config, sep float64, wstar []float64, rng *rngutil.RNG) (*Dataset, error) {
+	p := cfg.Dim
+	scale := sep / float64(p)
+	rowPtr := make([]int, cfg.N+1)
+	estimate := int(float64(cfg.N*p)*cfg.Density) + cfg.N
+	colIdx := make([]int, 0, estimate)
+	vals := make([]float64, 0, estimate)
+	y := make([]float64, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		sign := 1.0
+		if rng.Bernoulli(0.5) {
+			sign = -1
+		}
+		var margin float64
+		for j := 0; j < p; j++ {
+			if !rng.Bernoulli(cfg.Density) {
+				continue
+			}
+			v := sign*scale*wstar[j] + rng.Normal()
+			colIdx = append(colIdx, j)
+			vals = append(vals, v)
+			margin += v * wstar[j]
+		}
+		rowPtr[i+1] = len(vals)
+		y[i] = drawLabel(cfg, margin, rng)
+	}
+	x, err := vecmath.NewCSR(cfg.N, p, rowPtr, colIdx, vals)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: sparse generator produced invalid CSR: %w", err)
+	}
+	return &Dataset{X: x, Y: y, WStar: wstar}, nil
+}
+
+// drawLabel draws the +-1 label for a point with the given margin x^T w*,
+// under the paper's rule or the conventional one.
+func drawLabel(cfg Config, margin float64, rng *rngutil.RNG) float64 {
+	kappa := sigmoid(-margin) // paper: 1/(exp(x^T w*)+1)
+	if cfg.StandardLabels {
+		kappa = sigmoid(margin)
+	}
+	if rng.Bernoulli(kappa) {
+		return 1
+	}
+	return -1
 }
 
 func sigmoid(z float64) float64 {

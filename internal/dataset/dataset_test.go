@@ -90,7 +90,7 @@ func TestPaperLabelRuleCorrelation(t *testing.T) {
 	d, _ := Generate(Config{N: 3000, Dim: 20, Separation: 10}, rng)
 	var corr float64
 	for i := 0; i < d.N(); i++ {
-		margin := vecmath.Dot(d.X.Row(i), d.WStar)
+		margin := d.X.RowDot(i, d.WStar)
 		corr += margin * d.Y[i]
 	}
 	if corr >= 0 {
@@ -100,7 +100,7 @@ func TestPaperLabelRuleCorrelation(t *testing.T) {
 	d2, _ := Generate(Config{N: 3000, Dim: 20, Separation: 10, StandardLabels: true}, rngutil.New(5))
 	corr = 0
 	for i := 0; i < d2.N(); i++ {
-		corr += vecmath.Dot(d2.X.Row(i), d2.WStar) * d2.Y[i]
+		corr += d2.X.RowDot(i, d2.WStar) * d2.Y[i]
 	}
 	if corr <= 0 {
 		t.Fatalf("standard label rule should correlate margin and label, got sum %v", corr)
@@ -110,7 +110,7 @@ func TestPaperLabelRuleCorrelation(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	a, _ := Generate(Config{N: 50, Dim: 8, Separation: 1.5}, rngutil.New(99))
 	b, _ := Generate(Config{N: 50, Dim: 8, Separation: 1.5}, rngutil.New(99))
-	if vecmath.MaxAbsDiff(a.X.Data, b.X.Data) != 0 {
+	if vecmath.MaxAbsDiff(a.X.(*vecmath.Matrix).Data, b.X.(*vecmath.Matrix).Data) != 0 {
 		t.Fatal("same seed produced different features")
 	}
 	for i := range a.Y {

@@ -7,6 +7,11 @@
 // The master divides the aggregated sum by the dataset size to obtain the
 // paper's gradient (1/m) sum_j g_j (eq. 1). Losses follow the same
 // convention (sums, normalized by the caller).
+//
+// All models evaluate against vecmath.AnyMatrix row kernels, so a worker's
+// per-example gradient costs O(nnz of the row) on CSR data and O(p) on
+// dense — with bit-identical results for a CSR matrix holding exactly the
+// dense matrix's nonzeros.
 package model
 
 import (
@@ -96,12 +101,11 @@ func (l *Logistic) SubsetGradient(w []float64, rows []int, out []float64) {
 	}
 	x := l.Data.X
 	for _, j := range rows {
-		row := x.Row(j)
 		yj := l.Data.Y[j]
-		margin := yj * vecmath.Dot(row, w)
+		margin := yj * x.RowDot(j, w)
 		// d/dw log(1+exp(-margin)) = -y * sigma(-margin) * x
 		coeff := -yj * sigmoid(-margin)
-		vecmath.Axpy(coeff, row, out)
+		x.RowAxpy(coeff, j, out)
 	}
 	if l.Lambda != 0 {
 		frac := l.Lambda * float64(len(rows)) / float64(l.NumExamples())
@@ -114,7 +118,7 @@ func (l *Logistic) SubsetLoss(w []float64, rows []int) float64 {
 	x := l.Data.X
 	var s float64
 	for _, j := range rows {
-		margin := l.Data.Y[j] * vecmath.Dot(x.Row(j), w)
+		margin := l.Data.Y[j] * x.RowDot(j, w)
 		s += logistic(margin)
 	}
 	if l.Lambda != 0 {
@@ -129,7 +133,7 @@ func (l *Logistic) SubsetLoss(w []float64, rows []int) float64 {
 func (l *Logistic) Accuracy(w []float64) float64 {
 	correct := 0
 	for j := 0; j < l.NumExamples(); j++ {
-		score := vecmath.Dot(l.Data.X.Row(j), w)
+		score := l.Data.X.RowDot(j, w)
 		pred := 1.0
 		if score < 0 {
 			pred = -1
@@ -162,26 +166,28 @@ func sigmoid(z float64) float64 {
 // ---------------------------------------------------------------------------
 
 // LeastSquares is the quadratic model ell_j(w) = 0.5 (x_j^T w - y_j)^2.
-// Unlike Logistic it permits closed-form optimum checks in tests.
+// Unlike Logistic it permits closed-form optimum checks in tests. X may be
+// dense or CSR; gradients cost O(nnz) on sparse data.
 type LeastSquares struct {
-	X *vecmath.Matrix
+	X vecmath.AnyMatrix
 	Y []float64
 }
 
 // NewLeastSquares constructs a least-squares model; y may hold arbitrary
 // real targets. It panics if dimensions disagree.
-func NewLeastSquares(x *vecmath.Matrix, y []float64) *LeastSquares {
-	if x.Rows != len(y) {
-		panic(fmt.Sprintf("model: least squares with %d rows but %d targets", x.Rows, len(y)))
+func NewLeastSquares(x vecmath.AnyMatrix, y []float64) *LeastSquares {
+	rows, _ := x.Dims()
+	if rows != len(y) {
+		panic(fmt.Sprintf("model: least squares with %d rows but %d targets", rows, len(y)))
 	}
 	return &LeastSquares{X: x, Y: y}
 }
 
 // Dim returns the feature dimension.
-func (m *LeastSquares) Dim() int { return m.X.Cols }
+func (m *LeastSquares) Dim() int { _, cols := m.X.Dims(); return cols }
 
 // NumExamples returns the number of data points.
-func (m *LeastSquares) NumExamples() int { return m.X.Rows }
+func (m *LeastSquares) NumExamples() int { rows, _ := m.X.Dims(); return rows }
 
 // SubsetGradient implements Model.
 func (m *LeastSquares) SubsetGradient(w []float64, rows []int, out []float64) {
@@ -189,9 +195,8 @@ func (m *LeastSquares) SubsetGradient(w []float64, rows []int, out []float64) {
 		panic(fmt.Sprintf("model: gradient buffer %d != dim %d", len(out), m.Dim()))
 	}
 	for _, j := range rows {
-		row := m.X.Row(j)
-		resid := vecmath.Dot(row, w) - m.Y[j]
-		vecmath.Axpy(resid, row, out)
+		resid := m.X.RowDot(j, w) - m.Y[j]
+		m.X.RowAxpy(resid, j, out)
 	}
 }
 
@@ -199,7 +204,7 @@ func (m *LeastSquares) SubsetGradient(w []float64, rows []int, out []float64) {
 func (m *LeastSquares) SubsetLoss(w []float64, rows []int) float64 {
 	var s float64
 	for _, j := range rows {
-		resid := vecmath.Dot(m.X.Row(j), w) - m.Y[j]
+		resid := m.X.RowDot(j, w) - m.Y[j]
 		s += 0.5 * resid * resid
 	}
 	return s

@@ -37,14 +37,13 @@ func (s *SVM) SubsetGradient(w []float64, rows []int, out []float64) {
 	}
 	x := s.Data.X
 	for _, j := range rows {
-		row := x.Row(j)
 		yj := s.Data.Y[j]
-		margin := yj * vecmath.Dot(row, w)
+		margin := yj * x.RowDot(j, w)
 		if margin >= 1 {
 			continue // point outside the margin contributes nothing
 		}
 		// d/dw (1 - margin)^2 = -2 (1 - margin) y x
-		vecmath.Axpy(-2*(1-margin)*yj, row, out)
+		x.RowAxpy(-2*(1-margin)*yj, j, out)
 	}
 	if s.Lambda != 0 {
 		frac := s.Lambda * float64(len(rows)) / float64(s.NumExamples())
@@ -57,7 +56,7 @@ func (s *SVM) SubsetLoss(w []float64, rows []int) float64 {
 	x := s.Data.X
 	var sum float64
 	for _, j := range rows {
-		margin := s.Data.Y[j] * vecmath.Dot(x.Row(j), w)
+		margin := s.Data.Y[j] * x.RowDot(j, w)
 		if margin < 1 {
 			d := 1 - margin
 			sum += d * d
@@ -73,7 +72,7 @@ func (s *SVM) SubsetLoss(w []float64, rows []int) float64 {
 func (s *SVM) Accuracy(w []float64) float64 {
 	correct := 0
 	for j := 0; j < s.NumExamples(); j++ {
-		score := vecmath.Dot(s.Data.X.Row(j), w)
+		score := s.Data.X.RowDot(j, w)
 		pred := 1.0
 		if score < 0 {
 			pred = -1
