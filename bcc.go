@@ -135,6 +135,8 @@ type (
 	Optimizer = core.Optimizer
 	// Runtime names a registered execution substrate.
 	Runtime = core.Runtime
+	// Payload names a comm-plane payload codec.
+	Payload = core.Payload
 )
 
 // The registered gradient-coding schemes.
@@ -162,6 +164,15 @@ const (
 	RuntimeTCP  = core.RuntimeTCP
 )
 
+// The registered payload codecs (Spec.Payload): raw64 is the lossless
+// default; f32 and topk trade gradient precision for wire bytes while
+// staying bit-for-bit deterministic across runtimes.
+const (
+	PayloadRaw64 = core.PayloadRaw64
+	PayloadF32   = core.PayloadF32
+	PayloadTopK  = core.PayloadTopK
+)
+
 // OptionError reports a Spec field holding an invalid value (unknown
 // scheme/optimizer/runtime name, out-of-range knob). Retrieve with
 // errors.As to inspect the field name and the known values.
@@ -172,6 +183,9 @@ func Optimizers() []Optimizer { return core.Optimizers() }
 
 // Runtimes lists the registered runtime names.
 func Runtimes() []Runtime { return core.Runtimes() }
+
+// Payloads lists the registered payload codec names.
+func Payloads() []Payload { return core.Payloads() }
 
 // Observer receives lifecycle callbacks — OnDecode at each iteration's
 // decode instant, OnIteration after each completed iteration, OnRunEnd with

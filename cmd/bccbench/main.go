@@ -10,10 +10,12 @@
 // Experiment ids: fig2, fig4, table1, table2, fig5, theorem1, theorem2,
 // commload, fractional, tailbound, all.
 //
-// -sweep switches to the compute-plane sweep instead (dense-vs-sparse
-// worker gradients across densities and dimensions, decode across payload
-// sizes and DecodeParallelism), writing a JSON report (-sweep-out,
-// default BENCH_PR5.json); -sweep-quick shrinks it to CI-smoke sizes.
+// -sweep switches to the performance sweep instead: the compute plane
+// (dense-vs-sparse worker gradients across densities and dimensions, decode
+// across payload sizes and DecodeParallelism) plus the comm plane (payload
+// codec × dimension × workers over tcp loopback with measured wire bytes),
+// writing a JSON report (-sweep-out, default BENCH_PR6.json);
+// -sweep-quick shrinks it to CI-smoke sizes.
 package main
 
 import (
@@ -40,8 +42,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "deadline for the whole suite (0 = none); Ctrl-C also aborts cleanly")
 		csvDir     = flag.String("csv", "", "directory to also write <id>.csv files into")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
-		sweep      = flag.Bool("sweep", false, "run the compute-plane sweep (dense-vs-sparse gradients × density, decode × parallelism) instead of paper artifacts")
-		sweepOut   = flag.String("sweep-out", "BENCH_PR5.json", "where -sweep writes its JSON report")
+		sweep      = flag.Bool("sweep", false, "run the performance sweep (gradients × density, decode × parallelism, payload codec × dim × workers over tcp) instead of paper artifacts")
+		sweepOut   = flag.String("sweep-out", "BENCH_PR6.json", "where -sweep writes its JSON report")
 		sweepQuick = flag.Bool("sweep-quick", false, "tiny -sweep sizes for a fast smoke run")
 	)
 	flag.Parse()

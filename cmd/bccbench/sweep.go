@@ -1,10 +1,12 @@
 package main
 
-// The compute-plane sweep behind BENCH_PR5.json: dense-vs-sparse worker
-// gradient cost across densities and dimensions, and the master's decode
-// path across payload sizes and DecodeParallelism levels. Run with
+// The performance sweep behind BENCH_PR6.json: dense-vs-sparse worker
+// gradient cost across densities and dimensions, the master's decode path
+// across payload sizes and DecodeParallelism levels, and the comm plane —
+// payload codec × dimension × workers over real tcp loopback with the
+// engine's measured wire-byte accounting. Run with
 //
-//	bccbench -sweep                       # full sizes, writes BENCH_PR5.json
+//	bccbench -sweep                       # full sizes, writes BENCH_PR6.json
 //	bccbench -sweep -sweep-quick          # tiny sizes for the CI smoke step
 //
 // Every measurement uses testing.Benchmark, so ns/op and allocs/op follow
@@ -16,10 +18,13 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"bcc/internal/cluster"
 	"bcc/internal/coding"
 	"bcc/internal/dataset"
 	"bcc/internal/model"
+	"bcc/internal/optimize"
 	"bcc/internal/rngutil"
 	"bcc/internal/vecmath"
 )
@@ -43,6 +48,19 @@ type sweepDecode struct {
 	AllocsOp int64   `json:"allocs_op"`
 }
 
+type sweepComm struct {
+	Codec      string  `json:"codec"`
+	P          int     `json:"p"`
+	Workers    int     `json:"workers"`
+	TopK       int     `json:"topk,omitempty"`
+	Iters      int     `json:"iters"`
+	WireInIter float64 `json:"wire_in_bytes_iter"`  // measured bytes into the master per iteration
+	WireOutIter float64 `json:"wire_out_bytes_iter"` // measured broadcast bytes per iteration
+	InVsRaw    float64 `json:"in_vs_raw64"` // WireInIter / raw64 row's WireInIter
+	WallSec    float64 `json:"wall_s"`
+	WallVsRaw  float64 `json:"wall_vs_raw64"`
+}
+
 type sweepReport struct {
 	PR          int               `json:"pr"`
 	Title       string            `json:"title"`
@@ -50,6 +68,7 @@ type sweepReport struct {
 	Notes       []string          `json:"notes"`
 	Gradient    []sweepGradient   `json:"gradient"`
 	Decode      []sweepDecode     `json:"decode"`
+	Comm        []sweepComm       `json:"comm"`
 }
 
 // runSweep executes the dense-vs-sparse × density × parallelism sweep and
@@ -65,8 +84,8 @@ func runSweep(path string, quick bool) error {
 	}
 	densities := []float64{1, 0.05, 0.01}
 	rep := &sweepReport{
-		PR:    5,
-		Title: "Sparse-aware compute plane: CSR datasets, O(nnz) gradient kernels, parallel decode",
+		PR:    6,
+		Title: "Comm-plane compression & streaming: payload codecs, chunked wire frames, measured byte accounting (compute-plane rows re-recorded from PR 5)",
 		Environment: map[string]string{
 			"goos":       runtime.GOOS,
 			"goarch":     runtime.GOARCH,
@@ -79,6 +98,9 @@ func runSweep(path string, quick bool) error {
 			"decode: BenchmarkDecode methodology (offer-until-decodable + DecodeInto on a reused decoder, m=n=" + fmt.Sprint(decN) + " r=" + fmt.Sprint(decR) + "); parallelism > 1 shards the decode combination element-wise with bit-identical output",
 			"parallelism speedups require gomaxprocs > 1: vecmath.Shard caps the fan-out at GOMAXPROCS, so on a single-CPU host the parallel rows degrade to the serial partition (one chunk) and measure only the fixed sharding overhead (one closure alloc per decode), not a win",
 			"serial decode rows (parallelism=1) pin the zero-steady-state-alloc invariant of the PR 3 data plane (allocs_op 0 after the one-time solve-cache warmup); compare ns_op against BENCH_PR3.json decode at p=1024 under the same methodology",
+			"comm: full tcp-loopback training runs (wire frames, zero injected latency, scheme bcc m=n r=n/4, wall = best of 3 reps) with the measured wire-byte accounting of the engine; wire_in counts worker->master reply frames, wire_out the master's query broadcasts; in_vs_raw64 and wall_vs_raw64 compare each codec against the raw64 row of the same (p, workers) cell",
+		"comm wall caveat: on this zero-latency single-host loopback the byte savings buy no transfer time, so wall_vs_raw64 only bounds the codecs' CPU overhead (top-k selection is O(p log K) per reply); the latency win of smaller payloads shows up when transfer time is real — the sim runtime models it by scaling upload/ingress latency with the codec's byte fraction",
+			"comm: f32 halves reply payload words, topk (K=p/16 by default) keeps K index+value pairs per vector — queries stay dense (raw64 under topk, f32-quantized under f32), so wire_out shrinks only under f32",
 		},
 	}
 	for _, p := range dims {
@@ -102,6 +124,34 @@ func runSweep(path string, quick bool) error {
 				rep.Decode = append(rep.Decode, d)
 				fmt.Printf("decode %-10s p=%-6d par=%d  %-12.0f ns/op  %d allocs/op\n",
 					scheme, p, par, d.NsOp, d.AllocsOp)
+			}
+		}
+	}
+	commDims := []int{1024, 16384}
+	commWorkers := []int{4, 8}
+	commIters := 20
+	if quick {
+		commDims = []int{256}
+		commWorkers = []int{4}
+		commIters = 4
+	}
+	for _, p := range commDims {
+		for _, n := range commWorkers {
+			var raw sweepComm
+			for _, codec := range []string{"raw64", "f32", "topk"} {
+				c, err := benchComm(codec, p, n, commIters)
+				if err != nil {
+					return err
+				}
+				if codec == "raw64" {
+					raw = c
+				} else if raw.WireInIter > 0 {
+					c.InVsRaw = c.WireInIter / raw.WireInIter
+					c.WallVsRaw = c.WallSec / raw.WallSec
+				}
+				rep.Comm = append(rep.Comm, c)
+				fmt.Printf("comm %-6s p=%-6d n=%-3d in %-10.0f out %-10.0f B/iter  in_vs_raw %-6.3f wall %.3fs\n",
+					codec, p, n, c.WireInIter, c.WireOutIter, c.InVsRaw, c.WallSec)
 			}
 		}
 	}
@@ -168,6 +218,79 @@ func benchGradient(rows, p int, density float64) (sweepGradient, error) {
 		g.Speedup = g.DenseNs / g.CSRNs
 	}
 	return g, nil
+}
+
+// benchComm runs one full tcp-loopback training job (wire frames, zero
+// injected latency) under the given payload codec and reports the measured
+// per-iteration wire bytes plus wall-clock. Deterministic: same seed and
+// codec always reproduce the same traffic.
+func benchComm(codec string, p, n, iters int) (sweepComm, error) {
+	m, r := n, n/4
+	if r < 1 {
+		r = 1
+	}
+	rng := rngutil.New(21)
+	ds, err := dataset.Generate(dataset.Config{N: 4 * m, Dim: p, Separation: 1.5}, rng.Split())
+	if err != nil {
+		return sweepComm{}, err
+	}
+	units, err := ds.Units(m)
+	if err != nil {
+		return sweepComm{}, err
+	}
+	sch, err := coding.Lookup("bcc")
+	if err != nil {
+		return sweepComm{}, err
+	}
+	plan, err := sch.Plan(m, n, r, rng.Split())
+	if err != nil {
+		return sweepComm{}, err
+	}
+	mod := model.NewLogistic(ds)
+	comm := cluster.CommOptions{Payload: codec}
+	cfg := &cluster.Config{
+		Plan:       plan,
+		Model:      mod,
+		Units:      units,
+		Opt:        optimize.NewNesterov(make([]float64, mod.Dim()), optimize.Constant(0.5)),
+		Iterations: iters,
+		Latency:    cluster.Zero{},
+		Comm:       comm,
+	}
+	// Best of three runs: a full run is milliseconds, so scheduler warm-up
+	// noise dwarfs the signal on a single measurement. Bytes are exactly
+	// reproducible across runs (deterministic traffic); only wall varies.
+	var res *cluster.Result
+	wall := 0.0
+	for rep := 0; rep < 3; rep++ {
+		cfg.Opt = optimize.NewNesterov(make([]float64, mod.Dim()), optimize.Constant(0.5))
+		start := time.Now()
+		r, err := cluster.RunLive(cfg, cluster.LiveOptions{TCP: true, Codec: "wire", Timeout: 30 * time.Second})
+		if err != nil {
+			return sweepComm{}, err
+		}
+		if w := time.Since(start).Seconds(); rep == 0 || w < wall {
+			wall = w
+		}
+		if res != nil && (res.TotalWireIn != r.TotalWireIn || res.TotalWireOut != r.TotalWireOut) {
+			return sweepComm{}, fmt.Errorf("comm sweep: wire bytes not reproducible across reps (%d/%d vs %d/%d)",
+				res.TotalWireIn, res.TotalWireOut, r.TotalWireIn, r.TotalWireOut)
+		}
+		res = r
+	}
+	c := sweepComm{
+		Codec:       codec,
+		P:           p,
+		Workers:     n,
+		Iters:       iters,
+		WireInIter:  float64(res.TotalWireIn) / float64(iters),
+		WireOutIter: float64(res.TotalWireOut) / float64(iters),
+		WallSec:     wall,
+	}
+	if codec == "topk" {
+		c.TopK = (p + 15) / 16 // the resolved default K = ceil(p/16)
+	}
+	return c, nil
 }
 
 // benchDecode measures one offer-until-decodable round plus DecodeInto on a

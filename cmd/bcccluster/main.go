@@ -49,7 +49,10 @@ func main() {
 		seed      = fs.Uint64("seed", 1, "shared seed (must match across processes)")
 		index     = fs.Int("index", 0, "worker index (worker role only)")
 		wait      = fs.Duration("timeout", 60*time.Second, "per-iteration / accept timeout")
-		codec     = fs.String("codec", "gob", "frame encoding: gob|wire (must match across processes)")
+		frame     = fs.String("frame", "gob", "frame encoding: gob|wire (must match across processes)")
+		codec     = fs.String("codec", "raw64", "payload codec: raw64|f32|topk (must match across processes)")
+		topk      = fs.Int("topk", 0, "coordinates kept per reply vector with -codec topk (0 = dim/16)")
+		chunk     = fs.Int("chunk", 0, "wire framing chunk size in elements for -frame wire (0 = default)")
 		pipe      = fs.Bool("pipelined", false, "pipelined iterations: cancel stale in-flight work on a fresher query (must match across processes)")
 		drop      = fs.Float64("drop", 0, "master-side probability in [0,1) of losing each worker transmission")
 		dropSeed  = fs.Uint64("drop-seed", 0, "seed for the -drop fault pattern (master role only)")
@@ -76,6 +79,9 @@ func main() {
 		Seed:          *seed,
 		FaultScenario: *faultsN,
 		FaultSeed:     *faultSd,
+		Payload:       core.Payload(*codec),
+		TopK:          *topk,
+		WireChunk:     *chunk,
 	})
 	if err != nil {
 		fail(err)
@@ -87,8 +93,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		comm := cluster.CommOptions{Payload: *codec, TopK: *topk, Chunk: *chunk}
 		fmt.Printf("master: listening on %s, waiting for %d workers\n", *addr, *n)
-		fab, err := cluster.ServeMaster(ln, *n, *wait, *codec)
+		fab, err := cluster.ServeMaster(ln, *n, *wait, *frame, comm, job.Model.Dim())
 		if err != nil {
 			fail(err)
 		}
@@ -106,6 +113,7 @@ func main() {
 			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
 			DecodeParallelism:  *decodePar,
+			Comm:               comm,
 		}
 		if *progress {
 			cfg.Observer = cluster.ObserverFuncs{Iteration: func(st cluster.IterStats) {
@@ -122,8 +130,8 @@ func main() {
 			}
 			fmt.Printf("master: interrupted after %d iterations\n", len(res.Iters))
 		}
-		fmt.Printf("master: done; avg recovery threshold %.2f, bytes received %d, accuracy %.4f\n",
-			res.AvgWorkersHeard, res.TotalBytes, job.Accuracy(res.FinalW))
+		fmt.Printf("master: done; avg recovery threshold %.2f, payload bytes %d, wire bytes in/out %d/%d, accuracy %.4f\n",
+			res.AvgWorkersHeard, res.TotalBytes, res.TotalWireIn, res.TotalWireOut, job.Accuracy(res.FinalW))
 	case "worker":
 		if *index < 0 || *index >= *n {
 			fail(fmt.Errorf("worker index %d out of range [0,%d)", *index, *n))
@@ -135,7 +143,8 @@ func main() {
 			Units:              job.Units,
 			Latency:            cluster.Zero{},
 			TimeScale:          1,
-			Codec:              *codec,
+			Codec:              *frame,
+			Comm:               cluster.CommOptions{Payload: *codec, TopK: *topk, Chunk: *chunk},
 			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
 			Pipelined:          *pipe,

@@ -49,6 +49,9 @@ func main() {
 		optName   = flag.String("opt", "nesterov", "optimizer: nesterov|gd")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		runtime   = flag.String("runtime", "sim", "runtime: sim|live|tcp")
+		codec     = flag.String("codec", "raw64", "payload codec: raw64|f32|topk (lossy codecs compress gradient traffic deterministically)")
+		topk      = flag.Int("topk", 0, "coordinates kept per reply vector with -codec topk (0 = dim/16)")
+		chunk     = flag.Int("chunk", 0, "wire framing chunk size in elements for the tcp runtime's wire frames (0 = default)")
 		pipe      = flag.Bool("pipelined", false, "broadcast the next query the moment an iteration decodes, cancelling straggler work in flight")
 		ec2       = flag.Bool("ec2", false, "inject the calibrated EC2-like straggler profile")
 		dead      = flag.String("dead", "", "comma-separated worker indices that never respond")
@@ -82,6 +85,9 @@ func main() {
 		Optimizer:          core.Optimizer(*optName),
 		Seed:               *seed,
 		Runtime:            core.Runtime(*runtime),
+		Payload:            core.Payload(*codec),
+		TopK:               *topk,
+		WireChunk:          *chunk,
 		Pipelined:          *pipe,
 		DropProb:           *drop,
 		DropSeed:           *dropSeed,
@@ -185,7 +191,10 @@ func main() {
 	fmt.Printf("per-iteration wall:                     %s\n", res.WallSummary())
 	fmt.Printf("recovery threshold (avg workers heard): %.2f\n", res.AvgWorkersHeard)
 	fmt.Printf("communication load (avg units):         %.2f\n", res.AvgUnits)
-	fmt.Printf("bytes received by master:               %d\n", res.TotalBytes)
+	fmt.Printf("payload bytes received by master:       %d\n", res.TotalBytes)
+	if res.TotalWireIn > 0 || res.TotalWireOut > 0 {
+		fmt.Printf("measured wire bytes (in/out):           %d/%d\n", res.TotalWireIn, res.TotalWireOut)
+	}
 	fmt.Printf("training accuracy:                      %.4f\n", job.Accuracy(res.FinalW))
 
 	if *ckptOut != "" {

@@ -165,6 +165,49 @@
 // density and p=16384, ~42x at 1%, with the zero-alloc steady state
 // preserved).
 //
+// # The comm plane: payload codecs, chunked frames, measured bytes
+//
+// What crosses the wire each iteration is controlled by a pluggable payload
+// codec, Spec.Payload (CLI: -codec on bcctrain/bcccluster):
+//
+//   - PayloadRaw64 (default): dense float64 payloads, bit-exact — every
+//     conformance golden and checkpoint is unchanged under it.
+//   - PayloadF32: query and reply vectors quantized to float32 on the wire
+//     (~2x smaller). The canonical transform float64(float32(v)) is applied
+//     by EVERY runtime — the simulator and the in-process channels transform
+//     values exactly where the TCP serializer would — so a given
+//     (spec, seed, codec) decodes to bit-identical iterates whether or not
+//     bytes actually cross a socket.
+//   - PayloadTopK: each reply vector keeps only its K largest-magnitude
+//     coordinates (Spec.TopK, default ceil(p/16)) as sorted index+value
+//     pairs; selection runs on raw float64 magnitudes with ties broken
+//     toward the lower index, so all runtimes keep the same set. Queries
+//     stay dense (sparsifying the iterate would change the algorithm).
+//
+// On the TCP runtime's compact binary frames, payload vectors stream in
+// fixed-size chunks (Spec.WireChunk elements, default 512 = 4 KiB);
+// chunking is pure staging — the byte stream is identical for every chunk
+// size — and the master can fold each decoded chunk slice as it arrives
+// (wire.Reader.ReadReplyChunks over coding.SliceDecoder). The TCP handshake
+// carries the codec, K and chunk size and rejects mismatched processes at
+// connect time. The simulator models the reduced payload: upload and
+// ingress-drain latencies scale by the codec's byte fraction.
+//
+// Accounting is split honestly in Result: IterStats.Bytes/Result.TotalBytes
+// stay the modelled payload byte counts (codec-aware, comparable across all
+// runtimes), while IterStats.WireBytesIn/Out and Result.TotalWireIn/Out
+// report bytes MEASURED at the socket layer — framing included — on the
+// TCP runtime, and zero elsewhere. The lossy codecs preserve the zero
+// steady-state-allocation invariant (selection scratch and staging buffers
+// are per-connection and reused); BENCH_PR6.json records the committed
+// sweep: reply traffic at ~50% of raw64 under f32 and ~6% (16x) under
+// top-K at K=p/16. On a zero-latency loopback the byte savings buy no
+// transfer time, so the sweep's wall column only bounds codec CPU overhead
+// (f32 is free; top-K selection costs O(p log K) per reply) — the latency
+// win of smaller payloads appears when transfer time is real, which the
+// simulator models by scaling upload/ingress latency with the byte
+// fraction.
+//
 // # Reproducing the paper
 //
 // Every table and figure of the paper regenerates through RunExperiment or

@@ -1,0 +1,97 @@
+// Compressed training walkthrough: the same BCC job run over real loopback
+// TCP sockets under each payload codec — raw64 (bit-exact), f32 (gradient
+// and model words quantized to float32 on the wire), topk (each reply keeps
+// only its K largest-magnitude coordinates) — comparing bytes MEASURED at
+// the socket, final accuracy, and the determinism guarantee: a lossy codec
+// run decodes to bit-identical iterates on the simulator and on TCP, because
+// every runtime applies the same canonical transform at its wire boundary.
+//
+//	go run ./examples/compressed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bcc"
+)
+
+func main() {
+	// One spec, three codecs. The tcp runtime here is real sockets in one
+	// process; only Payload/TopK change between runs.
+	base := bcc.Spec{
+		Examples:   16,
+		Workers:    16,
+		Load:       4,
+		Scheme:     bcc.SchemeBCC,
+		DataPoints: 160,
+		Dim:        4096,
+		Iterations: 25,
+		Seed:       11,
+		LossEvery:  8, // iteration 24 = 3*8 records the final loss below
+	}
+
+	fmt.Printf("%-8s %14s %14s %10s %10s\n", "codec", "wire in B/iter", "wire out B/iter", "loss", "accuracy")
+	var rawIn float64
+	finals := map[bcc.Payload][]float64{}
+	for _, codec := range []bcc.Payload{bcc.PayloadRaw64, bcc.PayloadF32, bcc.PayloadTopK} {
+		spec := base
+		spec.Runtime = bcc.RuntimeTCP
+		spec.Payload = codec // PayloadTopK defaults TopK to ceil(p/16) = 256 here
+		job, err := bcc.NewJob(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := job.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		in := float64(res.TotalWireIn) / float64(len(res.Iters))
+		out := float64(res.TotalWireOut) / float64(len(res.Iters))
+		loss := res.Iters[len(res.Iters)-1].Loss
+		note := ""
+		if codec == bcc.PayloadRaw64 {
+			rawIn = in
+		} else {
+			note = fmt.Sprintf("   (replies at %.1f%% of raw64)", 100*in/rawIn)
+		}
+		fmt.Printf("%-8s %14.0f %14.0f %10.4f %10.4f%s\n",
+			codec, in, out, loss, job.Accuracy(res.FinalW), note)
+		finals[codec] = res.FinalW
+	}
+
+	// The cross-runtime determinism guarantee: rerun the f32 job on the
+	// SIMULATOR — no sockets, no serialization — and compare iterates with
+	// the TCP run bit for bit. The sim applies the canonical quantization
+	// transform exactly where the TCP serializer would, so the trajectories
+	// are identical, not merely close.
+	simSpec := base
+	simSpec.Runtime = bcc.RuntimeSim
+	simSpec.Payload = bcc.PayloadF32
+	simJob, err := bcc.NewJob(simSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simRes, err := simJob.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range simRes.FinalW {
+		if math.Float64bits(v) != math.Float64bits(finals[bcc.PayloadF32][i]) {
+			log.Fatalf("sim and tcp f32 iterates diverge at %d", i)
+		}
+	}
+	fmt.Println("\nf32 on sim == f32 on tcp, bit for bit: compression is part of the algorithm, not the transport")
+
+	// And the accuracy story: the lossy trajectories stay close to raw64.
+	for _, codec := range []bcc.Payload{bcc.PayloadF32, bcc.PayloadTopK} {
+		maxd := 0.0
+		for i, v := range finals[codec] {
+			if d := math.Abs(v - finals[bcc.PayloadRaw64][i]); d > maxd {
+				maxd = d
+			}
+		}
+		fmt.Printf("max |w_%s - w_raw64| after %d iterations: %.2e\n", codec, base.Iterations, maxd)
+	}
+}

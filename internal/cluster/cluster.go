@@ -101,11 +101,33 @@ type Config struct {
 	// Checkpoint persists run state; wired by callers (core wires it to
 	// Job.Checkpoint). Only consulted when CheckpointEvery > 0.
 	Checkpoint func(completed int) error
+	// Comm configures the comm-plane payload codec (raw64/f32/topk) and wire
+	// chunking; the zero value is the lossless raw64 default. See
+	// CommOptions.
+	Comm CommOptions
 
 	// bufs is the run's shared gradient-buffer pool (see BufferPool for the
 	// ownership protocol), created lazily by buffers() before any worker
 	// goroutine starts.
 	bufs *BufferPool
+	// cp is the resolved comm plane, cached by validate()/comm().
+	cp    commPlane
+	cpSet bool
+}
+
+// comm returns the run's resolved comm plane, resolving it on first use.
+// validate() resolves (and reports errors for) the configured options before
+// any transport is built; this accessor therefore only sees valid options
+// and falls back to raw64 defensively if called on an unvalidated config.
+func (c *Config) comm() commPlane {
+	if !c.cpSet {
+		cp, err := c.Comm.resolve(c.Model.Dim())
+		if err != nil {
+			cp, _ = CommOptions{}.resolve(c.Model.Dim())
+		}
+		c.cp, c.cpSet = cp, true
+	}
+	return c.cp
 }
 
 // buffers returns the run's shared payload-buffer pool, creating it on first
@@ -185,6 +207,11 @@ func (c *Config) validate() error {
 			return fmt.Errorf("cluster: fault plan built for %d workers, cluster has %d", c.Faults.N, n)
 		}
 	}
+	cp, err := c.Comm.resolve(c.Model.Dim())
+	if err != nil {
+		return err
+	}
+	c.cp, c.cpSet = cp, true
 	return nil
 }
 
@@ -219,8 +246,19 @@ type IterStats struct {
 	WorkersHeard int
 	// Units is the realized communication load this iteration.
 	Units float64
-	// Bytes counts payload bytes the master received this iteration.
+	// Bytes counts payload bytes the master received this iteration, as
+	// modelled from the configured payload codec (element bytes only, no
+	// framing). It is runtime-independent: sim, live and tcp report the same
+	// value for the same run.
 	Bytes int
+	// WireBytesIn and WireBytesOut count bytes MEASURED at the wire layer
+	// this iteration — every byte read from and written to the master's
+	// connections, framing and headers included. Only transports with real
+	// sockets report them (the tcp fabric); sim and the channel fabric leave
+	// them zero. Unlike Bytes they are an observation, not a model, so they
+	// are excluded from cross-runtime conformance.
+	WireBytesIn  int
+	WireBytesOut int
 	// GradNorm is the Euclidean norm of the decoded (normalized) gradient.
 	GradNorm float64
 	// Loss is the full training loss, if LossEvery sampled this iteration
@@ -249,8 +287,14 @@ type Result struct {
 	AvgWorkersHeard float64
 	// AvgUnits is the empirical communication load (Definition 3).
 	AvgUnits float64
-	// TotalBytes counts all payload bytes received by the master.
+	// TotalBytes counts all payload bytes received by the master (modelled
+	// from the payload codec, like IterStats.Bytes).
 	TotalBytes int
+	// TotalWireIn and TotalWireOut sum the per-iteration measured wire
+	// bytes (tcp runtime only; zero elsewhere). Handshake and shutdown
+	// frames fall outside the iteration loop and are not included.
+	TotalWireIn  int
+	TotalWireOut int
 }
 
 // WallSummary returns descriptive statistics of the per-iteration wall
@@ -283,6 +327,8 @@ func summarize(finalW []float64, iters []IterStats) *Result {
 		res.AvgWorkersHeard += float64(it.WorkersHeard)
 		res.AvgUnits += it.Units
 		res.TotalBytes += it.Bytes
+		res.TotalWireIn += it.WireBytesIn
+		res.TotalWireOut += it.WireBytesOut
 	}
 	if len(iters) > 0 {
 		res.AvgWorkersHeard /= float64(len(iters))
@@ -373,12 +419,6 @@ func evalParts(mod gradientModel, units [][]int, assign []int, q []float64, part
 		vecmath.Fill(g, 0)
 		mod.SubsetGradient(q, units[assign[k]], g)
 	}
-}
-
-// messageBytes returns the payload size of a message in bytes (8 per
-// float64 component).
-func messageBytes(msg coding.Message) int {
-	return 8 * (len(msg.Vec) + len(msg.Imag))
 }
 
 // ErrStalled is returned when every alive worker has reported and the

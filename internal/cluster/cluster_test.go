@@ -832,7 +832,7 @@ func TestServeMasterExternalWorkers(t *testing.T) {
 		}
 		go func() { _ = DialAndServeWorker(addr, env) }()
 	}
-	fab, err := ServeMaster(ln, 4, 10*time.Second, "gob")
+	fab, err := ServeMaster(ln, 4, 10*time.Second, "gob", CommOptions{}, cfg.Model.Dim())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -854,7 +854,7 @@ func TestServeMasterAcceptTimeout(t *testing.T) {
 	}
 	defer ln.Close()
 	// No workers dial: accept must time out rather than hang.
-	if _, err := ServeMaster(ln, 1, 100*time.Millisecond, "gob"); err == nil {
+	if _, err := ServeMaster(ln, 1, 100*time.Millisecond, "gob", CommOptions{}, 4); err == nil {
 		t.Fatal("accept with no workers should time out")
 	}
 }

@@ -26,13 +26,20 @@ type frameCodec interface {
 // hand-rolled binary, ~3-5x faster on gradient payloads). pool, if non-nil,
 // backs the wire codec's reply deserialization: gradient-sized payloads are
 // read straight into pooled buffers (the engine recycles them post-decode),
-// so the TCP master's steady-state receive path stops allocating.
-func newFrameCodec(name string, rw io.ReadWriter, pool *BufferPool) (frameCodec, error) {
+// so the TCP master's steady-state receive path stops allocating. cp is the
+// resolved comm plane: the wire codec serializes payloads in the codec's
+// compact representation, while gob applies the lossy transform in place
+// before encoding (deterministically identical values, but gob's dense
+// self-describing format does not shrink the bytes on the wire — only the
+// wire frame codec realizes the compaction).
+func newFrameCodec(name string, rw io.ReadWriter, pool *BufferPool, cp commPlane) (frameCodec, error) {
 	switch name {
 	case "", "gob":
-		return &gobCodec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}, nil
+		return &gobCodec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), coder: cp.newCoder()}, nil
 	case "wire":
 		c := &wireCodec{w: wire.NewWriter(rw), r: wire.NewReader(rw)}
+		c.w.SetPayload(cp.pc)
+		c.r.SetPayload(cp.pc)
 		if pool != nil {
 			dim := pool.Dim()
 			c.alloc = func(n int) []float64 {
@@ -55,6 +62,10 @@ func newFrameCodec(name string, rw io.ReadWriter, pool *BufferPool) (frameCodec,
 type gobCodec struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
+	// coder applies the lossy payload transform during serialization (nil for
+	// raw64). gob ships the transformed vector dense, so decoded values match
+	// the wire codec bit for bit even though gob's byte count doesn't shrink.
+	coder *wire.VecCoder
 }
 
 func (c *gobCodec) WriteHello(h Hello) error { return c.enc.Encode(&h) }
@@ -69,7 +80,14 @@ func (c *gobCodec) ReadModel() (ModelUpdate, error) {
 	err := c.dec.Decode(&m)
 	return m, err
 }
-func (c *gobCodec) WriteReply(r Reply) error { return c.enc.Encode(&r) }
+func (c *gobCodec) WriteReply(r Reply) error {
+	// The payload buffers are owned by this worker until the frame is
+	// serialized (the receiver gets gob's fresh copies), so transforming in
+	// place here is safe and puts the lossy step at the same wire boundary
+	// the other runtimes use.
+	applyReplyCodec(c.coder, r.Msgs)
+	return c.enc.Encode(&r)
+}
 func (c *gobCodec) ReadReply() (Reply, error) {
 	var r Reply
 	err := c.dec.Decode(&r)
@@ -93,7 +111,11 @@ type wireCodec struct {
 }
 
 func (c *wireCodec) WriteHello(h Hello) error {
-	return c.w.WriteHello(wire.Hello{Worker: h.Worker})
+	codec, err := wire.ParsePayloadCodec(h.Payload)
+	if err != nil {
+		return err
+	}
+	return c.w.WriteHello(wire.Hello{Worker: h.Worker, Codec: codec, TopK: h.TopK, Chunk: h.Chunk})
 }
 
 func (c *wireCodec) ReadHello() (Hello, error) {
@@ -101,7 +123,7 @@ func (c *wireCodec) ReadHello() (Hello, error) {
 		return Hello{}, err
 	}
 	h, err := c.r.ReadHello()
-	return Hello{Worker: h.Worker}, err
+	return Hello{Worker: h.Worker, Payload: h.Codec.String(), TopK: h.TopK, Chunk: h.Chunk}, err
 }
 
 func (c *wireCodec) WriteModel(m ModelUpdate) error {

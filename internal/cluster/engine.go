@@ -10,6 +10,7 @@ import (
 	"bcc/internal/model"
 	"bcc/internal/trace"
 	"bcc/internal/vecmath"
+	"bcc/internal/wire"
 )
 
 // This file is the unified master engine. The per-iteration lifecycle that
@@ -141,9 +142,21 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 	dec := cfg.Plan.NewDecoder()
 	coding.SetDecodeParallelism(dec, cfg.DecodeParallelism)
 	grad := make([]float64, cfg.Model.Dim())
+	cp := cfg.comm()
+	var qbuf []float64   // reusable quantized-query scratch (lossy codecs)
 	var lossRows []int   // AllRows scratch for LossEvery evaluations
 	var used [][]float64 // consumed payload buffers, recycled post-decode
 	var totalElapsed float64
+	// Measured comm accounting: transports with real sockets expose running
+	// byte totals; the engine records per-iteration deltas. The baseline
+	// snapshot here excludes the handshake frames read during accept, and
+	// the deferred Shutdown excludes the shutdown frame from the last
+	// iteration's delta.
+	wc, _ := tr.(wireCounter)
+	var prevIn, prevOut int64
+	if wc != nil {
+		prevIn, prevOut = wc.WireTotals()
+	}
 	// finish assembles the Result over the completed iterations — the full
 	// run, an early-stopped prefix, or the partial progress of a cancelled
 	// run — and is the single place OnRunEnd fires.
@@ -184,7 +197,21 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 				iter, reachable, cfg.Plan.Scheme(), minResponders, ErrBelowThreshold)
 		}
 		q := cfg.Opt.Query()
-		if !traits.SyncQuery {
+		switch {
+		case cp.lossyQuery() && traits.SyncQuery:
+			// Quantize into engine-owned scratch — never the optimizer's
+			// iterate in place — so every runtime broadcasts the identical
+			// f32-rounded query while the master keeps full precision.
+			if len(qbuf) != len(q) {
+				qbuf = make([]float64, len(q))
+			}
+			copy(qbuf, q)
+			wire.QuantizeF32(qbuf)
+			q = qbuf
+		case cp.lossyQuery():
+			q = vecmath.Clone(q)
+			wire.QuantizeF32(q)
+		case !traits.SyncQuery:
 			// Concurrent workers hold the broadcast query across iteration
 			// boundaries, so they get their own copy.
 			q = vecmath.Clone(q)
@@ -227,7 +254,7 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 					st.Compute = arr.Compute
 				}
 				for _, msg := range arr.Msgs {
-					st.Bytes += messageBytes(msg)
+					st.Bytes += cp.msgBytes(msg)
 					dec.Offer(msg)
 				}
 				if dec.Decodable() {
@@ -271,6 +298,12 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 			cfg.Trace.Add(trace.Iteration{Iter: iter, DecodeTime: st.Wall, Spans: spans})
 		}
 		st.Comm = st.Wall - st.Compute
+		if wc != nil {
+			in, out := wc.WireTotals()
+			st.WireBytesIn = int(in - prevIn)
+			st.WireBytesOut = int(out - prevOut)
+			prevIn, prevOut = in, out
+		}
 		if err := finishIteration(cfg, dec, grad, &st); err != nil {
 			return nil, err
 		}

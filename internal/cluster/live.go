@@ -113,6 +113,7 @@ type liveTransport struct {
 	drops  *dropper
 	faults *faults.Plan
 	n      int
+	frac   float64 // payload byte width relative to raw64
 }
 
 func newLiveTransport(cfg *Config, fab fabric, opts LiveOptions) *liveTransport {
@@ -127,7 +128,18 @@ func newLiveTransport(cfg *Config, fab fabric, opts LiveOptions) *liveTransport 
 		drops:  cfg.newDropper(),
 		faults: cfg.Faults,
 		n:      n,
+		frac:   cfg.comm().frac,
 	}
+}
+
+// WireTotals implements wireCounter by delegating to the fabric when its
+// bytes genuinely cross sockets (the tcp fabric); the channel fabric has no
+// wire, so the engine records zeros.
+func (t *liveTransport) WireTotals() (in, out int64) {
+	if wc, ok := t.fab.(wireCounter); ok {
+		return wc.WireTotals()
+	}
+	return 0, 0
 }
 
 // expectedReplies counts the workers that will transmit for iteration iter:
@@ -208,8 +220,10 @@ func (s *liveSource) Next() (Arrival, bool, error) {
 			}
 			if s.t.cfg.IngressPerUnit > 0 {
 				// The master's NIC drains this message before the next can
-				// be taken — same bottleneck the sim transport models.
-				sleepVirtual(s.t.cfg.IngressPerUnit*units, s.t.opts.TimeScale)
+				// be taken — same bottleneck the sim transport models, with
+				// the drain scaled by the codec's byte fraction like the
+				// transmitted bytes are.
+				sleepVirtual(s.t.cfg.IngressPerUnit*units*s.t.frac, s.t.opts.TimeScale)
 			}
 			return Arrival{Worker: rep.Worker, Compute: rep.Compute, Units: units, Msgs: rep.Msgs}, true, nil
 		case <-s.ctx.Done():
@@ -253,6 +267,9 @@ type WorkerEnv struct {
 	// Codec selects the TCP frame encoding ("" = gob); must match the
 	// master. Unused by the channel fabric.
 	Codec string
+	// Comm configures the payload codec; must match the master's
+	// Config.Comm (the TCP handshake verifies this).
+	Comm CommOptions
 	// ComputeParallelism fans the per-example gradient computations out
 	// over this many goroutines (0/1 = serial).
 	ComputeParallelism int
@@ -281,6 +298,10 @@ type WorkerEnv struct {
 // stretch the latency sleeps.
 func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error) error {
 	env.Latency = withFaultSlowdowns(env.Latency, env.Faults)
+	cp, err := env.Comm.resolve(env.Model.Dim())
+	if err != nil {
+		return err
+	}
 	assign := env.Plan.Assignments()[env.Index]
 	points := 0
 	for _, u := range assign {
@@ -342,7 +363,7 @@ func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error
 		for _, m := range msgs {
 			units += m.Units
 		}
-		if next, preempted := sleepOrPreempt(env.Latency.Upload(env.Index, iter, units), scale, updates, env.Pipelined); preempted {
+		if next, preempted := sleepOrPreempt(env.Latency.Upload(env.Index, iter, units*cp.frac), scale, updates, env.Pipelined); preempted {
 			// The encoded payloads never leave this worker: recycle them, or
 			// every preempted straggler would drain the pool.
 			recycleMsgs(env.Bufs, msgs)
@@ -430,12 +451,19 @@ func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			Latency:            cfg.latency(),
 			TimeScale:          opts.TimeScale,
 			Faults:             cfg.Faults,
+			Comm:               cfg.Comm,
 			ComputeParallelism: cfg.ComputeParallelism,
 			Pipelined:          cfg.Pipelined,
 			Bufs:               pool,
 		}
 		go func() {
+			// The channel fabric's "wire boundary": the reply handoff. The
+			// lossy transform is applied here, once per payload, exactly where
+			// a TCP worker's serializer would apply it. Coders hold selection
+			// scratch, so each worker goroutine gets its own.
+			coder := cfg.comm().newCoder()
 			send := func(r Reply) error {
+				applyReplyCodec(coder, r.Msgs)
 				f.replies <- r
 				return nil
 			}

@@ -47,6 +47,13 @@ type scenarioRun struct {
 // the sim reference.
 func runScenario(t *testing.T, name string, pipelined bool, run func(cfg *Config) (*Result, error)) scenarioRun {
 	t.Helper()
+	return runScenarioComm(t, name, pipelined, CommOptions{}, run)
+}
+
+// runScenarioComm is runScenario with an explicit payload-codec
+// configuration — the codec axis of the conformance matrix.
+func runScenarioComm(t *testing.T, name string, pipelined bool, comm CommOptions, run func(cfg *Config) (*Result, error)) scenarioRun {
+	t.Helper()
 	plan, err := faults.Scenario(name, scenarioN, 9)
 	if err != nil {
 		t.Fatal(err)
@@ -55,6 +62,7 @@ func runScenario(t *testing.T, name string, pipelined bool, run func(cfg *Config
 		staggered(scenarioN, 4*scenarioR))
 	cfg.Faults = plan
 	cfg.Pipelined = pipelined
+	cfg.Comm = comm
 	// The conformance matrix runs with decode parallelism on: every runtime
 	// must still match the sim reference (and the golden traces) exactly
 	// with the knob set. At this suite's small dimension the Shard cutoff

@@ -7,6 +7,7 @@ import (
 	"bcc/internal/coding"
 	"bcc/internal/faults"
 	"bcc/internal/trace"
+	"bcc/internal/wire"
 )
 
 // The sim transport runs the master/worker timing model on a virtual clock:
@@ -58,6 +59,8 @@ type simTransport struct {
 	faults *faults.Plan
 	points []int
 	n      int
+	coder  *wire.VecCoder // lossy payload transform (nil for raw64)
+	frac   float64        // payload byte width relative to raw64
 
 	// Reusable per-iteration scratch (the transport is driven by one
 	// engine goroutine, strictly one iteration at a time).
@@ -69,6 +72,7 @@ type simTransport struct {
 
 func newSimTransport(cfg *Config) *simTransport {
 	_, n, _ := cfg.Plan.Params()
+	cp := cfg.comm()
 	return &simTransport{
 		cfg:    cfg,
 		pool:   cfg.buffers(),
@@ -78,6 +82,8 @@ func newSimTransport(cfg *Config) *simTransport {
 		faults: cfg.Faults,
 		points: workerPoints(cfg.Plan, cfg.Units),
 		n:      n,
+		coder:  cp.newCoder(),
+		frac:   cp.frac,
 		msgs:   make([][]coding.Message, n),
 	}
 }
@@ -142,11 +148,18 @@ func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64)
 		if len(msgs) == 0 {
 			continue // worker holds no data (uncoded with n > m)
 		}
+		// The wire boundary of the simulated runtime: the canonical lossy
+		// transform is applied here, exactly where a TCP worker's serializer
+		// would apply it, so decoded values match the socket runtimes bit
+		// for bit.
+		applyReplyCodec(t.coder, msgs)
 		var units float64
 		for _, msg := range msgs {
 			units += msg.Units
 		}
-		up := t.lat.Upload(w, iter, units)
+		// Upload time is charged per transmitted byte: compressed payloads
+		// scale the unit load by the codec's byte fraction.
+		up := t.lat.Upload(w, iter, units*t.frac)
 		t.arrivals = append(t.arrivals, simArrival{
 			at:     bcast + comp + up,
 			worker: w,
@@ -162,7 +175,7 @@ func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64)
 		if start < freeAt {
 			start = freeAt
 		}
-		done := start + t.cfg.IngressPerUnit*t.arrivals[i].units
+		done := start + t.cfg.IngressPerUnit*t.arrivals[i].units*t.frac
 		freeAt = done
 		t.arrivals[i].drainStart = start
 		t.arrivals[i].drainEnd = done

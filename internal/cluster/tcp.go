@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,9 +16,16 @@ import (
 // Frames are encoded by a pluggable codec: "gob" (default) or the compact
 // "wire" binary codec (LiveOptions.Codec); both endpoints must agree.
 
-// Hello is the first frame a worker sends after dialing.
+// Hello is the first frame a worker sends after dialing. Beyond the worker
+// index it carries the worker's resolved comm-plane parameters — payload
+// codec name, top-K count and effective chunk size — which the master
+// verifies against its own before admitting the connection: a codec mismatch
+// would silently corrupt every payload, so it is rejected at handshake time.
 type Hello struct {
-	Worker int
+	Worker  int
+	Payload string
+	TopK    int
+	Chunk   int
 }
 
 type tcpFabric struct {
@@ -28,6 +36,37 @@ type tcpFabric struct {
 	alive   int
 	mu      sync.Mutex
 	closed  bool
+	// Measured wire traffic of the master's connections, counted at the
+	// connection layer (every byte crossing the sockets, framing included).
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// WireTotals implements wireCounter: cumulative bytes received/sent across
+// all worker connections since the fabric accepted them.
+func (f *tcpFabric) WireTotals() (in, out int64) {
+	return f.bytesIn.Load(), f.bytesOut.Load()
+}
+
+// countingConn counts every byte crossing a master-side connection into the
+// fabric's totals. Wrapping the conn (rather than instrumenting codecs) means
+// the count is the genuine wire traffic: frame headers, handshakes and
+// payloads alike, for any frame codec.
+type countingConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 // newTCPFabric starts a loopback listener, spawns one in-process worker
@@ -56,6 +95,7 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			Latency:            cfg.latency(),
 			TimeScale:          opts.TimeScale,
 			Codec:              opts.Codec,
+			Comm:               cfg.Comm,
 			Faults:             cfg.Faults,
 			ComputeParallelism: cfg.ComputeParallelism,
 			Pipelined:          cfg.Pipelined,
@@ -63,7 +103,7 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 		go func() { _ = DialAndServeWorker(addr, env) }()
 	}
 
-	fab, err := acceptWorkers(ln, alive, opts.Timeout, opts.Codec, cfg.buffers())
+	fab, err := acceptWorkers(ln, alive, opts.Timeout, opts.Codec, cfg.buffers(), cfg.Comm, cfg.Model.Dim())
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -73,8 +113,14 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 
 // acceptWorkers accepts exactly `alive` handshaking connections on ln and
 // assembles the fabric around them. pool, if non-nil, backs the codecs'
-// reply deserialization so gradient payloads land in recycled buffers.
-func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName string, pool *BufferPool) (*tcpFabric, error) {
+// reply deserialization so gradient payloads land in recycled buffers. comm
+// and dim resolve the master's comm plane; each worker's hello must declare
+// the same payload codec, top-K and chunk size or the handshake fails.
+func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName string, pool *BufferPool, comm CommOptions, dim int) (*tcpFabric, error) {
+	cp, err := comm.resolve(dim)
+	if err != nil {
+		return nil, err
+	}
 	f := &tcpFabric{ln: ln, replies: make(chan Reply, alive*4+4), alive: alive}
 	f.conns = make([]net.Conn, 0, alive)
 	f.codecs = make([]frameCodec, 0, alive)
@@ -85,21 +131,28 @@ func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName 
 				return nil, err
 			}
 		}
-		conn, err := ln.Accept()
+		raw, err := ln.Accept()
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("cluster: tcp accept %d/%d: %w", i, alive, err)
 		}
-		codec, err := newFrameCodec(codecName, conn, pool)
+		conn := countingConn{Conn: raw, in: &f.bytesIn, out: &f.bytesOut}
+		codec, err := newFrameCodec(codecName, conn, pool, cp)
 		if err != nil {
 			conn.Close()
 			f.Close()
 			return nil, err
 		}
-		if _, err := codec.ReadHello(); err != nil {
+		hello, err := codec.ReadHello()
+		if err != nil {
 			conn.Close()
 			f.Close()
 			return nil, fmt.Errorf("cluster: tcp handshake: %w", err)
+		}
+		if err := cp.checkHello(hello); err != nil {
+			conn.Close()
+			f.Close()
+			return nil, fmt.Errorf("cluster: tcp handshake worker %d: %w", hello.Worker, err)
 		}
 		f.conns = append(f.conns, conn)
 		f.codecs = append(f.codecs, codec)
@@ -153,9 +206,17 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 		return fmt.Errorf("cluster: worker %d dial: %w", env.Index, err)
 	}
 	defer conn.Close()
+	dim := 0
+	if env.Model != nil {
+		dim = env.Model.Dim()
+	}
+	cp, err := env.Comm.resolve(dim)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d: %w", env.Index, err)
+	}
 	// The worker's reads are model broadcasts, not replies, so its codec
 	// needs no reply pool.
-	codec, err := newFrameCodec(env.Codec, conn, nil)
+	codec, err := newFrameCodec(env.Codec, conn, nil, cp)
 	if err != nil {
 		return err
 	}
@@ -165,7 +226,7 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 		// the worker's steady-state encode allocation-free too.
 		env.Bufs = NewBufferPool(env.Model.Dim(), 64)
 	}
-	if err := codec.WriteHello(Hello{Worker: env.Index}); err != nil {
+	if err := codec.WriteHello(cp.hello(env.Index)); err != nil {
 		return fmt.Errorf("cluster: worker %d hello: %w", env.Index, err)
 	}
 	// A dedicated reader streams model updates into a channel so the worker
@@ -206,12 +267,14 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 
 // ServeMaster accepts `alive` worker connections on ln and returns a fabric
 // for RunWithFabric; used by cmd/bcccluster where workers are separate
-// processes. codecName must match the workers' ("" = gob). The caller owns
-// ln's lifetime via the returned fabric's Close. Reply payloads are
-// allocated per frame here (the engine's pool still bounds master-side
-// retention); the in-process TCP runtime wires a shared pool instead.
-func ServeMaster(ln net.Listener, alive int, timeout time.Duration, codecName string) (Fabric, error) {
-	return acceptWorkers(ln, alive, timeout, codecName, nil)
+// processes. codecName must match the workers' ("" = gob), and comm (with
+// the model dimension dim) must match the CommOptions given to every worker
+// — each handshake is verified against it. The caller owns ln's lifetime via
+// the returned fabric's Close. Reply payloads are allocated per frame here
+// (the engine's pool still bounds master-side retention); the in-process TCP
+// runtime wires a shared pool instead.
+func ServeMaster(ln net.Listener, alive int, timeout time.Duration, codecName string, comm CommOptions, dim int) (Fabric, error) {
+	return acceptWorkers(ln, alive, timeout, codecName, nil, comm, dim)
 }
 
 // Fabric is the exported face of the master-side substrate, for callers

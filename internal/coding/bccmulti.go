@@ -216,21 +216,64 @@ func (d *coverageDecoder) Decodable() bool { return d.covered >= d.need }
 
 // DecodeInto sums the kept batch messages (scaled for the approximate
 // schemes). With SetDecodeParallelism > 1 the fold is sharded over the
-// output dimensions, bit-for-bit equal to the serial slot-order sum.
+// output dimensions via decodeRange, bit-for-bit equal to the serial
+// slot-order sum.
 func (d *coverageDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
 		return ErrNotDecodable
 	}
-	s := d.scale(d.covered)
 	if d.par > 1 {
-		sumSparseScaledInto(dst, d.kept, s, d.par)
+		vecmath.Shard(len(dst), d.par, func(lo, hi int) {
+			d.decodeRange(dst, lo, hi)
+		})
 		return nil
 	}
+	s := d.scale(d.covered)
 	sumSparseInto(dst, d.kept)
 	if s != 1 {
 		vecmath.Scale(s, dst)
 	}
 	return nil
+}
+
+// DecodeSliceInto implements SliceDecoder: reconstruct output elements
+// [lo, hi) only.
+func (d *coverageDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	d.decodeRange(dst, lo, hi)
+	return nil
+}
+
+// decodeRange folds the kept batch sums over output dimensions [lo, hi) in
+// slot order, then applies the coverage scale — the same per-element
+// sequence as sumSparseInto + Scale, so any partition of the dimensions is
+// bit-for-bit identical to the serial fold.
+func (d *coverageDecoder) decodeRange(dst []float64, lo, hi int) {
+	s := d.scale(d.covered)
+	first := true
+	for _, v := range d.kept {
+		if v == nil {
+			continue
+		}
+		if first {
+			copy(dst[lo:hi], v[lo:hi])
+			first = false
+			continue
+		}
+		for t := lo; t < hi; t++ {
+			dst[t] += v[t]
+		}
+	}
+	if s != 1 {
+		for t := lo; t < hi; t++ {
+			dst[t] *= s
+		}
+	}
 }
 
 func (d *coverageDecoder) WorkersHeard() int      { return d.heard.count }

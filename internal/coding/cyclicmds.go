@@ -244,6 +244,19 @@ func (d *mdsDecoder) DecodeInto(dst []float64) error {
 	return nil
 }
 
+// DecodeSliceInto implements SliceDecoder: reconstruct output elements
+// [lo, hi) only.
+func (d *mdsDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	d.decodeRange(dst, lo, hi)
+	return nil
+}
+
 // decodeRange combines output dimensions [lo, hi): each element folds its
 // per-worker terms in coefficient order, so any partition of the dimensions
 // reproduces the serial result bit-for-bit.

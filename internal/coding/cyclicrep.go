@@ -292,17 +292,50 @@ func (d *codedDecoder) Decodable() bool { return d.coeffs != nil }
 
 // DecodeInto combines the kept messages with the solved coefficients. With
 // SetDecodeParallelism > 1 the p-dimensional combination is sharded across
-// goroutines element-wise, bit-for-bit equal to the serial fold.
+// goroutines element-wise over decodeRange, bit-for-bit equal to the serial
+// fold.
 func (d *codedDecoder) DecodeInto(dst []float64) error {
 	if !d.Decodable() {
 		return ErrNotDecodable
 	}
 	if d.par > 1 {
-		vecmath.ParallelLinearCombinationInto(dst, d.coeffs, d.vecs[:len(d.coeffs)], d.par)
+		vecmath.Shard(len(dst), d.par, func(lo, hi int) {
+			d.decodeRange(dst, lo, hi)
+		})
 	} else {
 		vecmath.LinearCombinationInto(dst, d.coeffs, d.vecs[:len(d.coeffs)])
 	}
 	return nil
+}
+
+// DecodeSliceInto implements SliceDecoder: reconstruct output elements
+// [lo, hi) only.
+func (d *codedDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	d.decodeRange(dst, lo, hi)
+	return nil
+}
+
+// decodeRange combines output dimensions [lo, hi): each element accumulates
+// its terms coeffs[i]*vecs[i][t] in slice order from zero — the same
+// per-element sequence as LinearCombinationInto, so any partition of the
+// dimensions reproduces the serial result bit-for-bit.
+func (d *codedDecoder) decodeRange(dst []float64, lo, hi int) {
+	vecs := d.vecs[:len(d.coeffs)]
+	for t := lo; t < hi; t++ {
+		dst[t] = 0
+	}
+	for i, v := range vecs {
+		c := d.coeffs[i]
+		for t := lo; t < hi; t++ {
+			dst[t] += c * v[t]
+		}
+	}
 }
 
 func (d *codedDecoder) WorkersHeard() int      { return len(d.workers) }

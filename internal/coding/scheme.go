@@ -395,49 +395,6 @@ func sumSparseInto(dst []float64, vs [][]float64) {
 	}
 }
 
-// sumSparseScaledInto is the sharded form of sumSparseInto followed by a
-// Scale: the OUTPUT elements are partitioned across up to `workers`
-// goroutines, and every element folds its terms in the same slot order as
-// the serial kernel before applying the scale factor — so results are
-// bit-for-bit identical to sumSparseInto + Scale for every worker count.
-// workers <= 1 runs inline.
-func sumSparseScaledInto(dst []float64, vs [][]float64, scale float64, workers int) {
-	any := false
-	for _, v := range vs {
-		if v != nil {
-			any = true
-			break
-		}
-	}
-	if !any {
-		panic("coding: decode with no kept vectors")
-	}
-	if workers < 1 {
-		workers = 1 // Shard reads 0 as DefaultParallelism; unset means serial
-	}
-	vecmath.Shard(len(dst), workers, func(lo, hi int) {
-		first := true
-		for _, v := range vs {
-			if v == nil {
-				continue
-			}
-			if first {
-				copy(dst[lo:hi], v[lo:hi])
-				first = false
-				continue
-			}
-			for t := lo; t < hi; t++ {
-				dst[t] += v[t]
-			}
-		}
-		if scale != 1 {
-			for t := lo; t < hi; t++ {
-				dst[t] *= scale
-			}
-		}
-	})
-}
-
 // ---------------------------------------------------------------------------
 // Decode parallelism
 // ---------------------------------------------------------------------------
@@ -464,4 +421,29 @@ func SetDecodeParallelism(d Decoder, workers int) {
 	if pd, ok := d.(ParallelDecoder); ok {
 		pd.SetDecodeParallelism(workers)
 	}
+}
+
+// SliceDecoder is the optional Decoder capability behind streaming decode:
+// a decoder whose output elements are independent can reconstruct an
+// arbitrary output slice [lo, hi) on its own. Each slice folds its terms in
+// the serial order, so any partition of [0, p) — the engine's goroutine
+// shards, or the comm plane's wire chunks as they arrive — reproduces
+// DecodeInto bit-for-bit. The ParallelDecoder implementations (cyclicrep,
+// cyclicmds, the batch-coverage decoders) all provide it, and their
+// DecodeInto parallel paths are sharded over exactly this primitive.
+type SliceDecoder interface {
+	Decoder
+	// DecodeSliceInto reconstructs output elements [lo, hi) of the decoded
+	// gradient into dst[lo:hi], leaving the rest of dst untouched. It
+	// requires Decodable() and 0 <= lo <= hi <= len(dst); dst must be sized
+	// like a full decode destination.
+	DecodeSliceInto(dst []float64, lo, hi int) error
+}
+
+// checkDecodeSlice validates DecodeSliceInto bounds.
+func checkDecodeSlice(dst []float64, lo, hi int) error {
+	if lo < 0 || hi > len(dst) || lo > hi {
+		return fmt.Errorf("coding: decode slice [%d, %d) out of range for %d-dim output", lo, hi, len(dst))
+	}
+	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"bcc/internal/optimize"
 	"bcc/internal/rngutil"
 	"bcc/internal/trace"
+	"bcc/internal/wire"
 )
 
 // ---------------------------------------------------------------------------
@@ -109,7 +110,10 @@ var runtimes = map[Runtime]func(ctx context.Context, cfg *cluster.Config, spec S
 		return cluster.RunLiveContext(ctx, cfg, cluster.LiveOptions{TimeScale: spec.TimeScale})
 	},
 	RuntimeTCP: func(ctx context.Context, cfg *cluster.Config, spec Spec) (*cluster.Result, error) {
-		return cluster.RunLiveContext(ctx, cfg, cluster.LiveOptions{TimeScale: spec.TimeScale, TCP: true})
+		// The compact binary frames: the payload codec shrinks what actually
+		// crosses the socket (gob frames, still selectable in bcccluster via
+		// -frame, carry identical values but fixed-width encodings).
+		return cluster.RunLiveContext(ctx, cfg, cluster.LiveOptions{TimeScale: spec.TimeScale, TCP: true, Codec: "wire"})
 	},
 }
 
@@ -123,6 +127,41 @@ func (r Runtime) Validate() error {
 
 // Runtimes lists the registered runtime names, sorted.
 func Runtimes() []Runtime { return typedNames[Runtime](runtimes) }
+
+// Payload names a comm-plane payload codec: how gradient payloads are
+// represented between workers and the master (see wire.PayloadCodecNames).
+type Payload string
+
+// The registered payload codecs.
+const (
+	// PayloadRaw64 is the default: dense float64, lossless and bit-exact.
+	PayloadRaw64 Payload = "raw64"
+	// PayloadF32 quantizes query and reply vectors to float32 — half the
+	// bytes, deterministically identical results on every runtime.
+	PayloadF32 Payload = "f32"
+	// PayloadTopK keeps only the Spec.TopK largest-magnitude coordinates of
+	// each reply vector (values quantized to float32, shipped index+value
+	// style); queries stay dense.
+	PayloadTopK Payload = "topk"
+)
+
+// Validate resolves the payload codec name.
+func (p Payload) Validate() error {
+	if _, err := wire.ParsePayloadCodec(string(p)); err != nil {
+		return &OptionError{Option: "Payload", Value: string(p), Known: wire.PayloadCodecNames()}
+	}
+	return nil
+}
+
+// Payloads lists the registered payload codec names, sorted.
+func Payloads() []Payload {
+	names := wire.PayloadCodecNames()
+	out := make([]Payload, len(names))
+	for i, n := range names {
+		out[i] = Payload(n)
+	}
+	return out
+}
 
 func optionNames[K ~string, V any](m map[K]V) []string {
 	out := make([]string, 0, len(m))
@@ -258,6 +297,19 @@ type Spec struct {
 	// or RuntimeTCP (goroutines over loopback sockets). All three run the
 	// same master engine over different transports.
 	Runtime Runtime
+	// Payload selects the comm-plane payload codec: PayloadRaw64 (default,
+	// lossless), PayloadF32 or PayloadTopK. Lossy codecs are deterministic:
+	// the same spec + seed + codec gives bit-identical results on every
+	// runtime, barrier or pipelined.
+	Payload Payload
+	// TopK is the number of coordinates kept per reply vector under
+	// PayloadTopK (0 = Dim/16 rounded up, the K = p/16 operating point);
+	// setting it with any other codec is an error.
+	TopK int
+	// WireChunk is the wire framing chunk size in float64 elements for the
+	// TCP runtime's "wire" frame codec (0 = default 512). Chunking changes
+	// streaming granularity only, never the bytes or the results.
+	WireChunk int
 	// Pipelined broadcasts iteration k+1 the moment iteration k decodes and
 	// cancels straggler work in flight, instead of serializing iterations
 	// at the workers (see cluster.Config.Pipelined).
@@ -325,7 +377,15 @@ func (s *Spec) withDefaults() Spec {
 	if out.Runtime == "" {
 		out.Runtime = RuntimeSim
 	}
+	if out.Payload == "" {
+		out.Payload = PayloadRaw64
+	}
 	return out
+}
+
+// comm lowers the spec's payload knobs to the cluster layer's options.
+func (s *Spec) comm() cluster.CommOptions {
+	return cluster.CommOptions{Payload: string(s.Payload), TopK: s.TopK, Chunk: s.WireChunk}
 }
 
 // validateOptions fails fast on misconfigured options, after defaults are
@@ -360,6 +420,18 @@ func (s *Spec) validateOptions() error {
 	}
 	if s.GradNormTol < 0 {
 		return &OptionError{Option: "GradNormTol", Value: fmt.Sprintf("%v", s.GradNormTol), Reason: "must be non-negative"}
+	}
+	if err := s.Payload.Validate(); err != nil {
+		return err
+	}
+	if err := s.comm().Validate(s.Dim); err != nil {
+		// The codec name itself is valid (checked above), so this is a
+		// parameter problem: attribute it to the offending knob.
+		opt, val := "TopK", fmt.Sprintf("%d", s.TopK)
+		if s.WireChunk < 0 {
+			opt, val = "WireChunk", fmt.Sprintf("%d", s.WireChunk)
+		}
+		return &OptionError{Option: opt, Value: val, Reason: err.Error()}
 	}
 	if s.FaultScenario != "" && !faults.Known(s.FaultScenario) {
 		return &OptionError{Option: "FaultScenario", Value: s.FaultScenario, Known: faults.Names()}
@@ -489,6 +561,7 @@ func (j *Job) clusterConfig() *cluster.Config {
 		Faults:             j.Faults,
 		ComputeParallelism: j.Spec.ComputeParallelism,
 		DecodeParallelism:  j.Spec.DecodeParallelism,
+		Comm:               j.Spec.comm(),
 		LossEvery:          j.Spec.LossEvery,
 		Trace:              j.Spec.Trace,
 		Pipelined:          j.Spec.Pipelined,

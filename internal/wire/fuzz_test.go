@@ -8,21 +8,49 @@ import (
 	"bcc/internal/rngutil"
 )
 
+// transformReply returns a deep copy of rep with the codec's canonical
+// in-process transform applied to every payload vector — exactly what a wire
+// round trip under that codec must decode to, bit for bit.
+func transformReply(pc PayloadConfig, rep Reply) Reply {
+	coder := NewVecCoder(pc)
+	out := rep
+	out.Msgs = make([]Msg, len(rep.Msgs))
+	cp := func(v []float64) []float64 { // preserves nil vs empty-non-nil
+		if v == nil {
+			return nil
+		}
+		c := make([]float64, len(v))
+		copy(c, v)
+		coder.ApplyReply(c)
+		return c
+	}
+	for i, m := range rep.Msgs {
+		m.Vec = cp(m.Vec)
+		m.Imag = cp(m.Imag)
+		out.Msgs[i] = m
+	}
+	return out
+}
+
 // FuzzReplyRoundTrip mirrors internal/coding's property fuzzing for the
 // codec: pseudo-random reply frames — including the nil-vector sentinel and
-// empty vectors — must round-trip bit-exactly through the buffer-reuse read
-// path (ReadReplyInto with a recycling allocator and a reused Reply
-// scratch), and the pooled read must agree with the plain ReadReply.
+// empty vectors, under every payload codec and arbitrary chunk sizes — must
+// decode bit-exactly to the codec's canonical transform through the
+// buffer-reuse read path (ReadReplyInto with a recycling allocator and a
+// reused Reply scratch), and the pooled read must agree with the plain
+// ReadReply.
 func FuzzReplyRoundTrip(f *testing.F) {
-	f.Add(uint64(1), uint8(1), uint16(4), false, false)
-	f.Add(uint64(2), uint8(3), uint16(0), true, false)
-	f.Add(uint64(3), uint8(0), uint16(9), false, true)
-	f.Add(uint64(4), uint8(5), uint16(700), true, true)
-	f.Fuzz(func(t *testing.T, seed uint64, nmsgs uint8, dim uint16, nilVec, nilImag bool) {
+	f.Add(uint64(1), uint8(1), uint16(4), false, false, uint8(0), uint8(0), uint16(0))
+	f.Add(uint64(2), uint8(3), uint16(0), true, false, uint8(1), uint8(0), uint16(1))
+	f.Add(uint64(3), uint8(0), uint16(9), false, true, uint8(2), uint8(3), uint16(8))
+	f.Add(uint64(4), uint8(5), uint16(700), true, true, uint8(2), uint8(40), uint16(699))
+	f.Add(uint64(5), uint8(2), uint16(512), false, false, uint8(1), uint8(0), uint16(513))
+	f.Fuzz(func(t *testing.T, seed uint64, nmsgs uint8, dim uint16, nilVec, nilImag bool, codec, topk uint8, chunk uint16) {
 		rng := rngutil.New(seed)
 		if dim > 2048 {
 			dim = dim % 2048
 		}
+		pc := PayloadConfig{Codec: PayloadCodec(codec % 3), TopK: int(topk), Chunk: int(chunk)}
 		mk := func() Reply {
 			rep := Reply{
 				Iter:    int(rng.Intn(1 << 20)),
@@ -53,14 +81,23 @@ func FuzzReplyRoundTrip(f *testing.F) {
 			return rep
 		}
 		first, second := mk(), mk()
+		// Pristine copies: serialization must never mutate the caller's reply,
+		// even under the lossy codecs (the transform happens during staging).
+		origFirst := transformReply(PayloadConfig{}, first)
+		origSecond := transformReply(PayloadConfig{}, second)
+		wantFirst := transformReply(pc, first)
+		wantSecond := transformReply(pc, second)
 
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
+		w.SetPayload(pc)
 		for _, rep := range []Reply{first, second} {
 			if err := w.WriteReply(rep); err != nil {
 				t.Fatal(err)
 			}
 		}
+		checkReplyEqual(t, &first, &origFirst)
+		checkReplyEqual(t, &second, &origSecond)
 
 		// A recycling allocator: buffers released after the first read are
 		// reused for the second, exercising the "pooled buffer with stale
@@ -87,8 +124,9 @@ func FuzzReplyRoundTrip(f *testing.F) {
 		}
 
 		r := NewReader(&buf)
+		r.SetPayload(pc)
 		var got Reply // reused scratch across both reads
-		for _, want := range []Reply{first, second} {
+		for _, want := range []Reply{wantFirst, wantSecond} {
 			if k, err := r.NextKind(); err != nil || k != KindReply {
 				t.Fatalf("NextKind = %v, %v", k, err)
 			}
@@ -102,10 +140,12 @@ func FuzzReplyRoundTrip(f *testing.F) {
 		// The plain (allocating) path must agree with the pooled one.
 		buf.Reset()
 		w2 := NewWriter(&buf)
+		w2.SetPayload(pc)
 		if err := w2.WriteReply(first); err != nil {
 			t.Fatal(err)
 		}
 		r2 := NewReader(&buf)
+		r2.SetPayload(pc)
 		if _, err := r2.NextKind(); err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +153,78 @@ func FuzzReplyRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		checkReplyEqual(t, &plain, &first)
+		checkReplyEqual(t, &plain, &wantFirst)
+	})
+}
+
+// FuzzCodecRoundTrip is the comm-plane codec fuzzer: a single reply frame is
+// written under an arbitrary codec and writer chunk size, then decoded with
+// an INDEPENDENT reader chunk size (chunking is pure staging, so any reader
+// granularity must parse any writer granularity), through an allocator that
+// returns stale NaN-poisoned buffers (the reader must overwrite every
+// element, including top-k's implicit zeros). Every strict prefix of the
+// frame must fail with an error — never panic, never succeed.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint16(8), uint8(0), uint16(0), uint16(0), uint16(0), false)
+	f.Add(uint64(2), uint8(1), uint16(512), uint8(0), uint16(511), uint16(513), uint16(40), false)
+	f.Add(uint64(3), uint8(2), uint16(100), uint8(9), uint16(1), uint16(512), uint16(90), false)
+	f.Add(uint64(4), uint8(2), uint16(0), uint8(3), uint16(7), uint16(3), uint16(5), true)
+	f.Fuzz(func(t *testing.T, seed uint64, codec uint8, dim uint16, topk uint8, wchunk, rchunk, cut uint16, nilVec bool) {
+		rng := rngutil.New(seed)
+		dim = dim % 2048
+		cw := PayloadConfig{Codec: PayloadCodec(codec % 3), TopK: int(topk), Chunk: int(wchunk)}
+		cr := cw
+		cr.Chunk = int(rchunk)
+
+		rep := Reply{Iter: int(rng.Intn(1 << 16)), Worker: 3, Compute: rng.Float64(), Msgs: make([]Msg, 2)}
+		for i := range rep.Msgs {
+			m := Msg{From: i, Tag: i - 1, Units: rng.Float64()}
+			if !(nilVec && i == 0) {
+				m.Vec = make([]float64, dim)
+				for j := range m.Vec {
+					m.Vec[j] = rng.Normal()
+				}
+			}
+			rep.Msgs[i] = m // Imag stays nil: the sentinel path under every codec
+		}
+		want := transformReply(cw, rep)
+
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.SetPayload(cw)
+		if err := w.WriteReply(rep); err != nil {
+			t.Fatal(err)
+		}
+		frame := append([]byte(nil), buf.Bytes()...)
+
+		poisonAlloc := func(n int) []float64 {
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = math.NaN()
+			}
+			return b
+		}
+		r := NewReader(bytes.NewReader(frame))
+		r.SetPayload(cr)
+		if k, err := r.NextKind(); err != nil || k != KindReply {
+			t.Fatalf("NextKind = %v, %v", k, err)
+		}
+		var got Reply
+		if err := r.ReadReplyInto(&got, poisonAlloc); err != nil {
+			t.Fatal(err)
+		}
+		checkReplyEqual(t, &got, &want)
+
+		// Truncated streams: every strict prefix must error out cleanly.
+		pre := int(cut) % len(frame)
+		rt := NewReader(bytes.NewReader(frame[:pre]))
+		rt.SetPayload(cr)
+		var tr Reply
+		if _, err := rt.NextKind(); err == nil {
+			if err := rt.ReadReplyInto(&tr, poisonAlloc); err == nil {
+				t.Fatalf("reading a %d-byte prefix of a %d-byte frame succeeded", pre, len(frame))
+			}
+		}
 	})
 }
 

@@ -8,11 +8,26 @@
 // Frame layout (all integers little-endian):
 //
 //	frame := kind:uint8 body
-//	hello := worker:uint32
+//	hello := worker:uint32 codec:uint8 topk:uint32 chunk:uint32
 //	model := iter:int64 vec(query)
 //	reply := iter:int64 worker:uint32 compute:float64 nmsgs:uint32 msg*
 //	msg   := from:uint32 tag:int64 units:float64 vec(vec) vec(imag)
-//	vec   := len:uint32 float64*          (len 0xFFFFFFFF encodes nil)
+//	vec   := len:uint32 body                 (len 0xFFFFFFFF encodes nil)
+//
+// The vec body depends on the payload codec both sides negotiated in the
+// hello frame (see PayloadCodec):
+//
+//	raw64: float64*                          (len words)
+//	f32:   float32*                          (len words; reply AND query)
+//	topk:  k:uint32 (idx:uint32 val:float32)*  (k pairs, idx strictly
+//	       ascending; queries stay raw64 under topk)
+//
+// Payload elements move through the codec in chunks of PayloadConfig.Chunk
+// elements (DefaultChunk unless configured): one bufio write / ReadFull per
+// chunk instead of one per word. Chunking is pure staging — the byte stream
+// is identical for every chunk size — but it is also the streaming decode
+// granularity: ReadReplyChunks hands each decoded chunk slice to the caller
+// while later chunks are still in flight.
 package wire
 
 import (
@@ -37,12 +52,6 @@ const nilLen = ^uint32(0)
 // length prefix from provoking a huge allocation (64 Mi floats = 512 MiB).
 const maxVecLen = 64 << 20
 
-// vecChunk is the number of float64 words moved per bulk read/write through
-// the codec's byte scratch (4 KiB): large enough to amortize the copy, small
-// enough that the per-codec scratch stays modest and a corrupt length prefix
-// cannot force a huge transient buffer.
-const vecChunk = 512
-
 // VecAlloc supplies payload buffers to the reader's *Into entry points so
 // steady-state deserialization reuses pooled memory. It returns a length-n
 // buffer with arbitrary contents (the reader overwrites every element); a
@@ -50,9 +59,14 @@ const vecChunk = 512
 // allocation.
 type VecAlloc func(n int) []float64
 
-// Hello is the handshake frame body.
+// Hello is the handshake frame body. It carries the sender's payload-codec
+// parameters so master and workers can detect disagreement before any
+// payload frame is misparsed.
 type Hello struct {
 	Worker int
+	Codec  PayloadCodec
+	TopK   int
+	Chunk  int
 }
 
 // Model is a model-broadcast frame body; Iter < 0 signals shutdown.
@@ -80,14 +94,31 @@ type Reply struct {
 }
 
 // Writer frames and buffers outgoing frames. Not safe for concurrent use.
+// The zero payload config is raw64 with the default chunk size; SetPayload
+// switches codecs.
 type Writer struct {
 	bw      *bufio.Writer
+	pc      PayloadConfig
+	chunk   int
+	coder   VecCoder // top-k selection scratch for vecTopK
 	scratch [8]byte
-	vbuf    []byte // bulk float64 staging, grown to at most vecChunk*8
+	vbuf    []byte // bulk staging, grown to at most chunk*8 bytes
 }
 
-// NewWriter wraps w.
-func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriterSize(w, 1<<16)} }
+// NewWriter wraps w with the default raw64 payload codec.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), chunk: DefaultChunk}
+}
+
+// SetPayload selects the payload codec and chunk size for subsequent frames.
+// Both ends of a connection must agree (the cluster layer negotiates this in
+// the hello exchange).
+func (w *Writer) SetPayload(pc PayloadConfig) {
+	w.pc = pc
+	w.chunk = pc.chunkElems()
+	w.coder = VecCoder{cfg: pc}
+	w.vbuf = nil
+}
 
 func (w *Writer) u8(v byte) error { return w.bw.WriteByte(v) }
 
@@ -109,10 +140,19 @@ func (w *Writer) f64(v float64) error {
 	return err
 }
 
-// vec writes a length-prefixed float64 slice, staging whole chunks through
+// stage returns the byte staging buffer, grown to hold one chunk of 8-byte
+// words (the widest element the codec stages).
+func (w *Writer) stage(n int) []byte {
+	if cap(w.vbuf) < n {
+		w.vbuf = make([]byte, w.chunk*8)
+	}
+	return w.vbuf[:n]
+}
+
+// vecRaw writes a length-prefixed float64 slice, staging whole chunks through
 // the byte scratch so each chunk is one bufio write instead of one write per
 // word (the dominant cost on gradient-sized payloads).
-func (w *Writer) vec(v []float64) error {
+func (w *Writer) vecRaw(v []float64) error {
 	if v == nil {
 		return w.u32(nilLen)
 	}
@@ -121,13 +161,10 @@ func (w *Writer) vec(v []float64) error {
 	}
 	for len(v) > 0 {
 		n := len(v)
-		if n > vecChunk {
-			n = vecChunk
+		if n > w.chunk {
+			n = w.chunk
 		}
-		if cap(w.vbuf) < n*8 {
-			w.vbuf = make([]byte, vecChunk*8)
-		}
-		buf := w.vbuf[:n*8]
+		buf := w.stage(n * 8)
 		for i := 0; i < n; i++ {
 			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v[i]))
 		}
@@ -139,12 +176,100 @@ func (w *Writer) vec(v []float64) error {
 	return nil
 }
 
+// vecF32 writes a length-prefixed slice as float32 words.
+func (w *Writer) vecF32(v []float64) error {
+	if v == nil {
+		return w.u32(nilLen)
+	}
+	if err := w.u32(uint32(len(v))); err != nil {
+		return err
+	}
+	for len(v) > 0 {
+		n := len(v)
+		if n > w.chunk {
+			n = w.chunk
+		}
+		buf := w.stage(n * 4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v[i])))
+		}
+		if _, err := w.bw.Write(buf); err != nil {
+			return err
+		}
+		v = v[n:]
+	}
+	return nil
+}
+
+// vecTopK writes the K largest-|v| coordinates as ascending (index, value)
+// pairs. Selection runs on the raw float64 values — exactly the canonical
+// VecCoder transform — so the decoded vector is bit-identical to what an
+// in-process runtime computes.
+func (w *Writer) vecTopK(v []float64) error {
+	if v == nil {
+		return w.u32(nilLen)
+	}
+	if err := w.u32(uint32(len(v))); err != nil {
+		return err
+	}
+	kept := w.coder.Select(v)
+	if err := w.u32(uint32(len(kept))); err != nil {
+		return err
+	}
+	for len(kept) > 0 {
+		n := len(kept)
+		if n > w.chunk {
+			n = w.chunk
+		}
+		buf := w.stage(n * 8)
+		for i := 0; i < n; i++ {
+			idx := kept[i]
+			binary.LittleEndian.PutUint32(buf[i*8:], uint32(idx))
+			binary.LittleEndian.PutUint32(buf[i*8+4:], math.Float32bits(float32(v[idx])))
+		}
+		if _, err := w.bw.Write(buf); err != nil {
+			return err
+		}
+		kept = kept[n:]
+	}
+	return nil
+}
+
+// vecReply dispatches a reply payload vector through the configured codec.
+func (w *Writer) vecReply(v []float64) error {
+	switch w.pc.Codec {
+	case PayloadF32:
+		return w.vecF32(v)
+	case PayloadTopK:
+		return w.vecTopK(v)
+	}
+	return w.vecRaw(v)
+}
+
+// vecQuery dispatches a model query: f32 quantizes queries, topk ships them
+// dense (raw64).
+func (w *Writer) vecQuery(v []float64) error {
+	if w.pc.Codec == PayloadF32 {
+		return w.vecF32(v)
+	}
+	return w.vecRaw(v)
+}
+
 // WriteHello emits a handshake frame and flushes.
 func (w *Writer) WriteHello(h Hello) error {
 	if err := w.u8(KindHello); err != nil {
 		return err
 	}
 	if err := w.u32(uint32(h.Worker)); err != nil {
+		return err
+	}
+	if err := w.u8(byte(h.Codec)); err != nil {
+		return err
+	}
+	if err := w.u32(uint32(h.TopK)); err != nil {
+		return err
+	}
+	if err := w.u32(uint32(h.Chunk)); err != nil {
 		return err
 	}
 	return w.bw.Flush()
@@ -158,13 +283,15 @@ func (w *Writer) WriteModel(m Model) error {
 	if err := w.i64(int64(m.Iter)); err != nil {
 		return err
 	}
-	if err := w.vec(m.Query); err != nil {
+	if err := w.vecQuery(m.Query); err != nil {
 		return err
 	}
 	return w.bw.Flush()
 }
 
-// WriteReply emits a worker-reply frame and flushes.
+// WriteReply emits a worker-reply frame and flushes. Under a lossy payload
+// codec the transform is applied during serialization; the caller's slices
+// are never mutated.
 func (w *Writer) WriteReply(r Reply) error {
 	if err := w.u8(KindReply); err != nil {
 		return err
@@ -191,25 +318,39 @@ func (w *Writer) WriteReply(r Reply) error {
 		if err := w.f64(m.Units); err != nil {
 			return err
 		}
-		if err := w.vec(m.Vec); err != nil {
+		if err := w.vecReply(m.Vec); err != nil {
 			return err
 		}
-		if err := w.vec(m.Imag); err != nil {
+		if err := w.vecReply(m.Imag); err != nil {
 			return err
 		}
 	}
 	return w.bw.Flush()
 }
 
-// Reader decodes frames. Not safe for concurrent use.
+// Reader decodes frames. Not safe for concurrent use. The zero payload
+// config is raw64 with the default chunk size; SetPayload must match the
+// writing side.
 type Reader struct {
 	br      *bufio.Reader
+	pc      PayloadConfig
+	chunk   int
 	scratch [8]byte
-	vbuf    []byte // bulk float64 staging, grown to at most vecChunk*8
+	vbuf    []byte // bulk staging, grown to at most chunk*8 bytes
 }
 
-// NewReader wraps r.
-func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReaderSize(r, 1<<16)} }
+// NewReader wraps r with the default raw64 payload codec.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16), chunk: DefaultChunk}
+}
+
+// SetPayload selects the payload codec and chunk size for subsequent frames;
+// it must mirror the writing side's SetPayload.
+func (r *Reader) SetPayload(pc PayloadConfig) {
+	r.pc = pc
+	r.chunk = pc.chunkElems()
+	r.vbuf = nil
+}
 
 func (r *Reader) u8() (byte, error) { return r.br.ReadByte() }
 
@@ -234,49 +375,171 @@ func (r *Reader) f64() (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(r.scratch[:8])), nil
 }
 
-func (r *Reader) vec() ([]float64, error) { return r.vecAlloc(nil) }
+// stage returns the byte staging buffer, grown to hold one chunk of 8-byte
+// words.
+func (r *Reader) stage(n int) []byte {
+	if cap(r.vbuf) < n {
+		r.vbuf = make([]byte, r.chunk*8)
+	}
+	return r.vbuf[:n]
+}
 
-// vecAlloc reads a length-prefixed float64 slice, drawing the destination
-// from alloc (nil or wrong-sized result = fresh allocation) and moving whole
-// chunks through the byte scratch with one ReadFull per chunk.
-func (r *Reader) vecAlloc(alloc VecAlloc) ([]float64, error) {
-	n, err := r.u32()
+// vecLen reads and validates a vector length prefix; ok is false for the
+// nil sentinel.
+func (r *Reader) vecLen() (n int, ok bool, err error) {
+	u, err := r.u32()
 	if err != nil {
-		return nil, err
+		return 0, false, err
 	}
-	if n == nilLen {
-		return nil, nil
+	if u == nilLen {
+		return 0, false, nil
 	}
-	if n > maxVecLen {
-		return nil, fmt.Errorf("wire: vector length %d exceeds limit", n)
+	if u > maxVecLen {
+		return 0, false, fmt.Errorf("wire: vector length %d exceeds limit", u)
 	}
+	return int(u), true, nil
+}
+
+// vecBuf draws an n-element destination from alloc, falling back to a fresh
+// allocation when alloc is nil or returns a wrongly-sized buffer.
+func vecBuf(alloc VecAlloc, n int) []float64 {
 	var v []float64
 	if alloc != nil {
-		v = alloc(int(n))
+		v = alloc(n)
 	}
-	if len(v) != int(n) || v == nil {
+	if len(v) != n || v == nil {
 		// make([]float64, 0) is non-nil: an empty wire vector must stay
 		// distinguishable from the nilLen sentinel after a round trip.
 		v = make([]float64, n)
 	}
-	for rem := v; len(rem) > 0; {
-		k := len(rem)
-		if k > vecChunk {
-			k = vecChunk
+	return v
+}
+
+// ChunkFunc observes decoded payload slices: after each chunk of a payload
+// vector is in place the reader calls fn(v, lo, hi) where v[lo:hi] holds the
+// freshly decoded elements. The slice aliases the destination buffer and
+// must not be retained past the enclosing Read call. Top-k payloads arrive
+// as a single logical chunk covering the whole vector (the scatter target
+// must be fully zeroed before any element is final).
+type ChunkFunc func(v []float64, lo, hi int)
+
+// vecRaw reads a raw64 vector body into a buffer from alloc.
+func (r *Reader) vecRaw(alloc VecAlloc, fn ChunkFunc) ([]float64, error) {
+	n, ok, err := r.vecLen()
+	if err != nil || !ok {
+		return nil, err
+	}
+	v := vecBuf(alloc, n)
+	for off := 0; off < n; {
+		k := n - off
+		if k > r.chunk {
+			k = r.chunk
 		}
-		if cap(r.vbuf) < k*8 {
-			r.vbuf = make([]byte, vecChunk*8)
-		}
-		buf := r.vbuf[:k*8]
+		buf := r.stage(k * 8)
 		if _, err := io.ReadFull(r.br, buf); err != nil {
 			return nil, err
 		}
 		for i := 0; i < k; i++ {
-			rem[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			v[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 		}
-		rem = rem[k:]
+		if fn != nil {
+			fn(v, off, off+k)
+		}
+		off += k
 	}
 	return v, nil
+}
+
+// vecF32 reads an f32 vector body, widening each word to float64.
+func (r *Reader) vecF32(alloc VecAlloc, fn ChunkFunc) ([]float64, error) {
+	n, ok, err := r.vecLen()
+	if err != nil || !ok {
+		return nil, err
+	}
+	v := vecBuf(alloc, n)
+	for off := 0; off < n; {
+		k := n - off
+		if k > r.chunk {
+			k = r.chunk
+		}
+		buf := r.stage(k * 4)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			v[off+i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+		if fn != nil {
+			fn(v, off, off+k)
+		}
+		off += k
+	}
+	return v, nil
+}
+
+// vecTopK reads a top-k vector body: k ascending (index, value) pairs
+// scattered into a zero-filled dense buffer.
+func (r *Reader) vecTopK(alloc VecAlloc, fn ChunkFunc) ([]float64, error) {
+	n, ok, err := r.vecLen()
+	if err != nil || !ok {
+		return nil, err
+	}
+	ku, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(ku) > int64(n) {
+		return nil, fmt.Errorf("wire: topk count %d exceeds vector length %d", ku, n)
+	}
+	k := int(ku)
+	v := vecBuf(alloc, n)
+	for i := range v {
+		v[i] = 0
+	}
+	prev := int64(-1)
+	for off := 0; off < k; {
+		m := k - off
+		if m > r.chunk {
+			m = r.chunk
+		}
+		buf := r.stage(m * 8)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, err
+		}
+		for i := 0; i < m; i++ {
+			idx := int64(binary.LittleEndian.Uint32(buf[i*8:]))
+			if idx <= prev || idx >= int64(n) {
+				return nil, fmt.Errorf("wire: topk index %d out of order or range (prev %d, len %d)", idx, prev, n)
+			}
+			prev = idx
+			v[idx] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[i*8+4:])))
+		}
+		off += m
+	}
+	if fn != nil {
+		fn(v, 0, n)
+	}
+	return v, nil
+}
+
+// vecReply dispatches a reply payload read through the configured codec.
+func (r *Reader) vecReply(alloc VecAlloc, fn ChunkFunc) ([]float64, error) {
+	switch r.pc.Codec {
+	case PayloadF32:
+		return r.vecF32(alloc, fn)
+	case PayloadTopK:
+		return r.vecTopK(alloc, fn)
+	}
+	return r.vecRaw(alloc, fn)
+}
+
+// vecQuery dispatches a model query read (f32 quantizes queries, raw64
+// otherwise — mirroring Writer.vecQuery).
+func (r *Reader) vecQuery() ([]float64, error) {
+	if r.pc.Codec == PayloadF32 {
+		return r.vecF32(nil, nil)
+	}
+	return r.vecRaw(nil, nil)
 }
 
 // NextKind reads the next frame's kind byte.
@@ -297,7 +560,22 @@ func (r *Reader) ReadHello() (Hello, error) {
 	if err != nil {
 		return Hello{}, err
 	}
-	return Hello{Worker: int(w)}, nil
+	codec, err := r.u8()
+	if err != nil {
+		return Hello{}, err
+	}
+	if codec > byte(PayloadTopK) {
+		return Hello{}, fmt.Errorf("wire: unknown payload codec byte %d in hello", codec)
+	}
+	topk, err := r.u32()
+	if err != nil {
+		return Hello{}, err
+	}
+	chunk, err := r.u32()
+	if err != nil {
+		return Hello{}, err
+	}
+	return Hello{Worker: int(w), Codec: PayloadCodec(codec), TopK: int(topk), Chunk: int(chunk)}, nil
 }
 
 // ReadModel decodes a model body (after NextKind returned KindModel).
@@ -306,7 +584,7 @@ func (r *Reader) ReadModel() (Model, error) {
 	if err != nil {
 		return Model{}, err
 	}
-	q, err := r.vec()
+	q, err := r.vecQuery()
 	if err != nil {
 		return Model{}, err
 	}
@@ -327,6 +605,16 @@ func (r *Reader) ReadReply() (Reply, error) {
 // error rep's contents are unspecified. Nil vectors on the wire (the nilLen
 // sentinel) decode to nil without consulting alloc.
 func (r *Reader) ReadReplyInto(rep *Reply, alloc VecAlloc) error {
+	return r.ReadReplyChunks(rep, alloc, nil)
+}
+
+// ReadReplyChunks is ReadReplyInto with streaming decode: onChunk (may be
+// nil) observes each payload slice as soon as its elements are decoded, so
+// the caller can fold chunk slices into a combination buffer while later
+// chunks of the same reply are still in flight on the connection. The slice
+// passed to onChunk is owned by the reply being decoded; the callback must
+// not retain it.
+func (r *Reader) ReadReplyChunks(rep *Reply, alloc VecAlloc, onChunk ChunkFunc) error {
 	iter, err := r.i64()
 	if err != nil {
 		return err
@@ -367,11 +655,11 @@ func (r *Reader) ReadReplyInto(rep *Reply, alloc VecAlloc) error {
 		if err != nil {
 			return err
 		}
-		vec, err := r.vecAlloc(alloc)
+		vec, err := r.vecReply(alloc, onChunk)
 		if err != nil {
 			return err
 		}
-		imag, err := r.vecAlloc(alloc)
+		imag, err := r.vecReply(alloc, onChunk)
 		if err != nil {
 			return err
 		}
