@@ -13,6 +13,7 @@ import (
 	"bcc/internal/faults"
 	"bcc/internal/hetero"
 	"bcc/internal/rngutil"
+	"bcc/internal/service"
 	"bcc/internal/trace"
 	"bcc/internal/vecmath"
 )
@@ -407,6 +408,78 @@ func RunAllExperimentsContext(ctx context.Context, opt ExperimentOptions, w io.W
 // (set it on Spec.Trace) and renders ASCII Gantt charts of straggler
 // behaviour.
 type TraceRecorder = trace.Recorder
+
+// ---------------------------------------------------------------------------
+// Service: the multi-tenant training daemon
+// ---------------------------------------------------------------------------
+
+// JobID identifies a job submitted to the training service.
+type JobID = core.JobID
+
+// JobState is the lifecycle state of a submitted job:
+// queued -> running -> one of the terminal states below. Test finality with
+// JobState.Terminal.
+type JobState = core.JobState
+
+// The job lifecycle states reported by the service.
+const (
+	JobQueued   = core.JobQueued
+	JobRunning  = core.JobRunning
+	JobDone     = core.JobDone
+	JobFailed   = core.JobFailed
+	JobCanceled = core.JobCanceled
+	JobDegraded = core.JobDegraded
+)
+
+// ServiceOptions configures StartService: listen addresses, queue bound,
+// the per-job BufferPool cap, and lease/drain timeouts. The zero value
+// listens on an ephemeral loopback port with no HTTP surface.
+type ServiceOptions = service.Options
+
+// Service is the running multi-tenant daemon: it accepts job submissions
+// over the wire protocol, runs each job on its own engine instance with
+// per-job isolation (BufferPool, RNG streams, fault plan, observer), and
+// leases workers to TCP jobs from one shared fleet under strictly-FIFO
+// admission. Stop with Drain (graceful) or Close (immediate).
+type Service = service.Daemon
+
+// StartService starts the daemon and returns once its listeners are bound;
+// query the chosen ports with Addr and HTTPAddr.
+func StartService(opts ServiceOptions) (*Service, error) { return service.Start(opts) }
+
+// ServiceClient is the wire-protocol client for a running Service: Submit,
+// Status, Cancel and Watch, each a lockstep request/reply on one
+// connection.
+type ServiceClient = service.Client
+
+// DialService connects a client to the daemon's control address.
+func DialService(addr string) (*ServiceClient, error) { return service.Dial(addr) }
+
+// JobStatus is the service's JSON-ready snapshot of one job: state, queue
+// and run times, and live training observables (iteration, gradient norm,
+// payload and wire bytes, fault count).
+type JobStatus = service.JobStatus
+
+// WorkerStatus is the service's snapshot of one fleet worker: idle or
+// busy, the job holding its lease, and its lifetime lease count.
+type WorkerStatus = service.WorkerStatus
+
+// ServeFleetWorker joins the daemon at addr as one fleet worker and serves
+// leases until ctx is canceled or the daemon closes the fleet. The worker
+// rebuilds each assigned job from the spec bytes in its Assign frame, so it
+// needs no configuration beyond the address.
+func ServeFleetWorker(ctx context.Context, addr, name string) error {
+	return service.ServeWorker(ctx, addr, name)
+}
+
+// EncodeSpec serializes a Spec for submission over the wire. Process-local
+// fields (Latency models, Observer hooks, StopWhen closures, trace
+// recorders, checkpoint paths) cannot travel and are rejected here.
+func EncodeSpec(s Spec) ([]byte, error) { return core.EncodeSpec(s) }
+
+// DecodeSpec is the inverse of EncodeSpec; unknown fields are rejected and
+// the result is normalized (defaults applied, options validated).
+func DecodeSpec(data []byte) (Spec, error) { return core.DecodeSpec(data) }
 
 // ---------------------------------------------------------------------------
 // Randomness

@@ -310,3 +310,64 @@ func TestFaultInjectionPublicAPI(t *testing.T) {
 		t.Fatalf("partial result %+v, want the 2 pre-crash iterations", res)
 	}
 }
+
+func TestServicePublicAPI(t *testing.T) {
+	d, err := StartService(ServiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	// One fleet worker so a tiny TCP job can be admitted end to end.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ServeFleetWorker(ctx, d.Addr(), "facade-w0")
+	}()
+
+	c, err := DialService(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	spec := Spec{
+		Examples: 4, Workers: 1, Load: 4,
+		DataPoints: 40, Dim: 8,
+		Iterations: 4, Seed: 11,
+		Runtime: RuntimeTCP,
+	}
+	// The wire codec round-trips the spec the client will submit.
+	blob, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := DecodeSpec(blob); err != nil || back.Workers != 1 {
+		t.Fatalf("DecodeSpec = %+v, %v", back, err)
+	}
+
+	st, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State.Terminal() {
+		t.Fatalf("state %q already terminal at submit", st.State)
+	}
+	fin, err := d.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != JobDone || fin.Iter != 4 {
+		t.Fatalf("final = %q iter %d (err %q), want done/4", fin.State, fin.Iter, fin.Err)
+	}
+	if len(d.Workers()) != 1 || len(d.Jobs()) != 1 {
+		t.Fatalf("workers %d jobs %d, want 1/1", len(d.Workers()), len(d.Jobs()))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+}

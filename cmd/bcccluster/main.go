@@ -124,6 +124,13 @@ func main() {
 		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stopSignals()
 		res, err := cluster.RunWithFabricContext(ctx, cfg, fab, cluster.LiveOptions{Timeout: *wait, TimeScale: 1})
+		// Drain before the deferred Close: wait (bounded) for every worker to
+		// observe the shutdown broadcast and close its side, so an interrupted
+		// master ends worker processes with a clean close instead of a
+		// connection reset mid-reply.
+		if !cluster.DrainFabric(fab, 2*time.Second) {
+			fmt.Fprintln(os.Stderr, "master: drain timed out; some workers may see a reset")
+		}
 		if err != nil {
 			if res == nil || !errors.Is(err, context.Canceled) {
 				fail(err)

@@ -1,0 +1,122 @@
+// Command bccserve runs the multi-tenant coded-training service: a
+// long-running master daemon that accepts job submissions over the wire
+// protocol (see bcctrain -submit), leases workers to jobs from a shared
+// fleet, and exposes job status and Prometheus metrics over HTTP.
+//
+// A daemon with four in-process fleet workers and an HTTP surface:
+//
+//	bccserve -addr 127.0.0.1:9788 -http 127.0.0.1:9789 -workers 4
+//
+// Fleet workers can also join from other processes or machines:
+//
+//	bccserve -join 127.0.0.1:9788 -name box2-w0
+//
+// Submit and watch jobs with bcctrain:
+//
+//	bcctrain -submit 127.0.0.1:9788 -scheme bcc -m 12 -n 4 -r 3 -runtime tcp
+//
+// SIGINT/SIGTERM drains gracefully: new submissions are rejected, queued
+// jobs are canceled, and running jobs get -drain-timeout to finish before
+// being interrupted (keeping their partial results).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"bcc/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9788", "control listen address (workers join and clients submit here)")
+		httpAddr   = flag.String("http", "", "HTTP status/metrics listen address (empty = no HTTP surface)")
+		workers    = flag.Int("workers", 0, "in-process fleet workers to start alongside the daemon")
+		join       = flag.String("join", "", "worker-only mode: join the daemon at this address instead of serving")
+		name       = flag.String("name", "", "worker name prefix (worker-only mode: the name itself)")
+		queue      = flag.Int("queue", 64, "maximum jobs waiting for admission")
+		poolCap    = flag.Int("pool-cap", 0, "cap every job's reply-buffer free list (0 = per-job default)")
+		leaseWait  = flag.Duration("lease-timeout", 30*time.Second, "per-job timeout for leased workers to dial, and per-iteration reply timeout")
+		drainGrace = flag.Duration("drain-grace", 2*time.Second, "per-job wait for workers' clean close after its run")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long running jobs may finish before being canceled")
+		quiet      = flag.Bool("quiet", false, "suppress lifecycle log lines")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *join != "" {
+		// Worker-only mode: one fleet worker serving leases until the daemon
+		// closes the fleet (clean exit) or a signal arrives.
+		if err := service.ServeWorker(ctx, *join, *name); err != nil && ctx.Err() == nil {
+			fail(err)
+		}
+		return
+	}
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	d, err := service.Start(service.Options{
+		Addr:         *addr,
+		HTTPAddr:     *httpAddr,
+		MaxQueue:     *queue,
+		PoolCap:      *poolCap,
+		LeaseTimeout: *leaseWait,
+		DrainGrace:   *drainGrace,
+		Logf:         logf,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("bccserve: control plane on %s", d.Addr())
+	if h := d.HTTPAddr(); h != "" {
+		fmt.Printf(", http on %s", h)
+	}
+	fmt.Println()
+
+	// In-process workers get their own context, NOT the signal context: a
+	// drain needs the fleet alive so running jobs can finish. The daemon's
+	// Close ends them with a clean EOF once the drain completes.
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	var wg sync.WaitGroup
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wn := fmt.Sprintf("local-%d", i)
+			if *name != "" {
+				wn = fmt.Sprintf("%s-%d", *name, i)
+			}
+			if err := service.ServeWorker(workerCtx, d.Addr(), wn); err != nil && workerCtx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "bccserve: worker %s: %v\n", wn, err)
+			}
+		}(i)
+	}
+
+	<-ctx.Done()
+	fmt.Println("bccserve: draining")
+	grace, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := d.Drain(grace); err != nil {
+		fail(err)
+	}
+	stopWorkers()
+	wg.Wait()
+	fmt.Println("bccserve: stopped")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "bccserve: %v\n", err)
+	os.Exit(1)
+}

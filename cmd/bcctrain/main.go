@@ -27,12 +27,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"bcc/internal/cluster"
 	"bcc/internal/core"
 	"bcc/internal/experiments"
 	"bcc/internal/faults"
 	"bcc/internal/rngutil"
+	"bcc/internal/service"
 	"bcc/internal/trace"
 )
 
@@ -70,6 +72,7 @@ func main() {
 		ckptOut   = flag.String("checkpoint", "", "write optimizer state here after the run")
 		ckptEv    = flag.Int("checkpoint-every", 0, "also auto-checkpoint to -checkpoint every k iterations during the run")
 		resume    = flag.String("resume", "", "restore optimizer state from this checkpoint before running")
+		submit    = flag.String("submit", "", "submit the job to a bccserve daemon at this address instead of running locally")
 	)
 	flag.Parse()
 
@@ -115,6 +118,22 @@ func main() {
 			}
 			spec.Dead = append(spec.Dead, idx)
 		}
+	}
+	if *submit != "" {
+		// Remote submission ships only the serializable spec; process-local
+		// options cannot travel and are rejected up front with their flag
+		// names (EncodeSpec would catch Latency/Trace/checkpointing too, but
+		// the flag names are friendlier than the spec field names).
+		switch {
+		case *ec2:
+			fail(fmt.Errorf("-submit cannot ship the -ec2 latency model; model stragglers with -faults, -dead or -drop"))
+		case *doTrace:
+			fail(fmt.Errorf("-submit does not support -trace"))
+		case *ckptOut != "" || *ckptEv > 0 || *resume != "":
+			fail(fmt.Errorf("-submit does not support checkpoint flags (checkpoints are local to the daemon)"))
+		}
+		submitRemote(*submit, spec, *progress, *timeout)
+		return
 	}
 	if *progress {
 		spec.Observer = cluster.ObserverFuncs{
@@ -212,6 +231,74 @@ func main() {
 		fmt.Printf("\ntimeline of iteration 0 (b=broadcast c=compute u=upload q=queued D=drain |=decode):\n%s", gantt)
 	}
 	if interrupted {
+		os.Exit(1)
+	}
+}
+
+// submitRemote ships the spec to a bccserve daemon and watches the job to a
+// terminal state. Ctrl-C cancels the job on the daemon (which keeps the
+// partial result) rather than abandoning it. Exits nonzero unless the job
+// ends done.
+func submitRemote(addr string, spec core.Spec, progress bool, timeout time.Duration) {
+	c, err := service.Dial(addr)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+	st, err := c.Submit(spec)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("submitted job %d to %s: scheme=%s runtime=%s n=%d iters=%d\n",
+		st.ID, addr, st.Scheme, st.Runtime, st.Workers, st.Iterations)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	lastIter := -1
+	onStatus := func(s service.JobStatus) {
+		if progress && s.Iter != lastIter {
+			lastIter = s.Iter
+			fmt.Printf("job %d: %-8s iter %4d/%d  K %-3d |grad| %.4e\n",
+				s.ID, s.State, s.Iter, s.Iterations, s.WorkersHeard, s.GradNorm)
+		}
+	}
+	fin, err := c.Watch(ctx, st.ID, 200*time.Millisecond, onStatus)
+	if err != nil && ctx.Err() != nil {
+		fmt.Printf("interrupted; canceling job %d on the daemon\n", st.ID)
+		if _, cerr := c.Cancel(st.ID); cerr != nil {
+			fail(cerr)
+		}
+		if fin, err = c.Watch(context.Background(), st.ID, 100*time.Millisecond, nil); err != nil {
+			fail(err)
+		}
+	} else if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("\njob %d finished: state=%s", fin.ID, fin.State)
+	if fin.Err != "" {
+		fmt.Printf(" (%s)", fin.Err)
+	}
+	fmt.Println()
+	fmt.Printf("iterations completed:   %d/%d\n", fin.Iter, fin.Iterations)
+	fmt.Printf("queue / run seconds:    %.3f / %.3f\n", fin.QueueSeconds, fin.RunSeconds)
+	fmt.Printf("final gradient norm:    %.4e\n", fin.GradNorm)
+	if fin.Loss != 0 {
+		fmt.Printf("last sampled loss:      %.5f\n", fin.Loss)
+	}
+	fmt.Printf("payload bytes:          %d\n", fin.Bytes)
+	if fin.WireIn > 0 || fin.WireOut > 0 {
+		fmt.Printf("measured wire bytes:    %d in / %d out\n", fin.WireIn, fin.WireOut)
+	}
+	if fin.Faults > 0 {
+		fmt.Printf("fault events:           %d\n", fin.Faults)
+	}
+	if fin.State != core.JobDone {
 		os.Exit(1)
 	}
 }

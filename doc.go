@@ -208,6 +208,40 @@
 // simulator models by scaling upload/ingress latency with the byte
 // fraction.
 //
+// # Running as a service
+//
+// The package also runs as a long-lived multi-tenant daemon (bccserve,
+// or StartService in-process): a master accepting job submissions over the
+// wire protocol, running each job on its own engine instance, and leasing
+// workers to TCP jobs from one shared fleet.
+//
+//	bccserve -addr 127.0.0.1:9788 -http 127.0.0.1:9789 -workers 4 &
+//	bcctrain -submit 127.0.0.1:9788 -scheme bcc -m 12 -n 4 -r 3 -runtime tcp
+//	curl http://127.0.0.1:9789/metrics
+//
+// The job lifecycle is queued -> running -> done|failed|canceled|degraded
+// (JobState). Admission is strictly FIFO: the head job starts when enough
+// fleet workers are idle (sim/live jobs need none and run on daemon-local
+// goroutines); leases release on every exit path — completion, Cancel,
+// degrade below the recovery threshold, worker crash — so queued jobs start
+// without restarting workers. Tenants are isolated: each job gets its own
+// BufferPool (bounded by ServiceOptions.PoolCap), seed-derived RNG streams,
+// fault plan, comm-plane configuration and a private data-plane listener,
+// so concurrent jobs decode bit-identically to solo runs of the same spec.
+// Specs travel as serialized bytes (EncodeSpec/DecodeSpec); process-local
+// fields — Latency models, Observer hooks, StopWhen closures, trace
+// recorders, checkpoint paths — are rejected at submission. Fleet workers
+// rebuild each assigned job deterministically from the spec in its lease,
+// so they need no configuration beyond the daemon address
+// (ServeFleetWorker, or bccserve -join).
+//
+// The HTTP surface (ServiceOptions.HTTPAddr) serves /jobs, /jobs/{id},
+// /workers, /healthz as JSON and /metrics in Prometheus text format (job
+// states, queue depth, worker states, iteration and measured wire-byte
+// totals, queue/run seconds). SIGTERM — or Service.Drain — rejects new
+// submissions, cancels queued jobs, and gives running jobs a grace period
+// to finish before canceling them, keeping their partial results.
+//
 // # Reproducing the paper
 //
 // Every table and figure of the paper regenerates through RunExperiment or

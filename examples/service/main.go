@@ -1,0 +1,123 @@
+// Service walkthrough: the multi-tenant training daemon driven entirely
+// through the public API. An in-process daemon with a small fleet accepts
+// two concurrent jobs — a TCP job leasing real fleet workers and a sim job
+// running on a daemon-local goroutine — while the wire-protocol client
+// watches them and the HTTP surface reports status and Prometheus metrics.
+// Finally the daemon drains gracefully, the way bccserve does on SIGTERM.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bcc"
+)
+
+func main() {
+	// Start the daemon on ephemeral loopback ports; in production this is
+	// `bccserve -addr ... -http ... -workers 4`.
+	d, err := bcc.StartService(bcc.ServiceOptions{HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	fmt.Printf("daemon: control %s, http %s\n", d.Addr(), d.HTTPAddr())
+
+	// A fleet of four workers joins the daemon. Workers carry no job
+	// configuration: each lease ships the serialized spec and the worker
+	// rebuilds the job deterministically from its seeds.
+	fleetCtx, stopFleet := context.WithCancel(context.Background())
+	defer stopFleet()
+	var fleet sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		fleet.Add(1)
+		go func(i int) {
+			defer fleet.Done()
+			bcc.ServeFleetWorker(fleetCtx, d.Addr(), fmt.Sprintf("w%d", i))
+		}(i)
+	}
+
+	// Submit over the wire protocol, exactly as bcctrain -submit does.
+	c, err := bcc.DialService(d.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	tcpJob, err := c.Submit(bcc.Spec{
+		Examples: 8, Workers: 4, Load: 2,
+		DataPoints: 80, Dim: 64,
+		Scheme: bcc.SchemeBCC, Iterations: 12, Seed: 7,
+		Runtime: bcc.RuntimeTCP, Payload: bcc.PayloadF32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simJob, err := c.Submit(bcc.Spec{
+		Examples: 8, Workers: 8, Load: 3,
+		DataPoints: 80, Dim: 64,
+		Scheme: bcc.SchemeCyclicRep, Iterations: 12, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted: job %d (tcp, leases 4 workers) and job %d (sim, needs none)\n",
+		tcpJob.ID, simJob.ID)
+
+	// Watch the TCP job to completion; the callback fires on each poll.
+	final, err := c.Watch(context.Background(), tcpJob.ID, 50*time.Millisecond,
+		func(st bcc.JobStatus) {
+			fmt.Printf("job %d: %-8s iter %2d  |grad| %.3e\n", st.ID, st.State, st.Iter, st.GradNorm)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %d: %s after %d iterations, %d wire bytes in, %.0fms run\n",
+		final.ID, final.State, final.Iter, final.WireIn, 1000*final.RunSeconds)
+	if _, err := d.Wait(context.Background(), simJob.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// The HTTP surface serves the same snapshots as JSON and Prometheus text.
+	for _, path := range []string{"/jobs", "/metrics"} {
+		body := get("http://" + d.HTTPAddr() + path)
+		fmt.Printf("\nGET %s:\n", path)
+		for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+			if path != "/metrics" || strings.HasPrefix(line, "bcc_jobs") ||
+				strings.HasPrefix(line, "bcc_wire") {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+
+	// Graceful shutdown: reject new work, let running jobs finish, close.
+	grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Drain(grace); err != nil {
+		log.Fatal(err)
+	}
+	stopFleet()
+	fleet.Wait()
+	fmt.Println("\ndaemon: drained and stopped")
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(b)
+}

@@ -105,6 +105,13 @@ type Config struct {
 	// chunking; the zero value is the lossless raw64 default. See
 	// CommOptions.
 	Comm CommOptions
+	// PoolCap bounds the run's BufferPool free list (0 = a default derived
+	// from the plan's in-flight payload count). Past the cap, recycled
+	// buffers spill to the GC instead of being retained — the knob a
+	// multi-tenant host uses to keep one large-p job from holding memory
+	// hostage while other jobs run. A too-small cap costs allocations, never
+	// correctness.
+	PoolCap int
 
 	// bufs is the run's shared gradient-buffer pool (see BufferPool for the
 	// ownership protocol), created lazily by buffers() before any worker
@@ -136,23 +143,33 @@ func (c *Config) comm() commPlane {
 // safe for concurrent use.
 func (c *Config) buffers() *BufferPool {
 	if c.bufs == nil {
-		_, n, _ := c.Plan.Params()
-		// An iteration keeps up to n * messages-per-worker payloads in
-		// flight, each message holding up to two buffers (Vec + Imag) —
-		// 2*n*perWorker — and every message carries one communication unit,
-		// so CommLoadPerWorker bounds the per-worker message count. Doubling
-		// that (to 4*n*perWorker) covers a pipelined straggler round still
-		// draining while the next one encodes; the cap only bounds
-		// retention, a too-small value would silently re-allocate every
-		// iteration.
-		perWorker := int(math.Ceil(c.Plan.CommLoadPerWorker()))
-		if perWorker < 1 {
-			perWorker = 1
+		cap := c.PoolCap
+		if cap <= 0 {
+			_, n, _ := c.Plan.Params()
+			// An iteration keeps up to n * messages-per-worker payloads in
+			// flight, each message holding up to two buffers (Vec + Imag) —
+			// 2*n*perWorker — and every message carries one communication unit,
+			// so CommLoadPerWorker bounds the per-worker message count. Doubling
+			// that (to 4*n*perWorker) covers a pipelined straggler round still
+			// draining while the next one encodes; the cap only bounds
+			// retention, a too-small value would silently re-allocate every
+			// iteration.
+			perWorker := int(math.Ceil(c.Plan.CommLoadPerWorker()))
+			if perWorker < 1 {
+				perWorker = 1
+			}
+			cap = 4*n*perWorker + 64
 		}
-		c.bufs = NewBufferPool(c.Model.Dim(), 4*n*perWorker+64)
+		c.bufs = NewBufferPool(c.Model.Dim(), cap)
 	}
 	return c.bufs
 }
+
+// Buffers exposes the run's payload-buffer pool (created on first call),
+// for callers that accept the run's data-plane connections themselves and
+// want reply deserialization to land in the same pool the engine recycles
+// into — see ServeMasterPool. Config.Plan and Config.Model must be set.
+func (c *Config) Buffers() *BufferPool { return c.buffers() }
 
 func (c *Config) validate() error {
 	if c.Plan == nil || c.Model == nil || c.Opt == nil {
@@ -169,6 +186,9 @@ func (c *Config) validate() error {
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("cluster: CheckpointEvery %d must be non-negative", c.CheckpointEvery)
+	}
+	if c.PoolCap < 0 {
+		return fmt.Errorf("cluster: PoolCap %d must be non-negative", c.PoolCap)
 	}
 	m, n, _ := c.Plan.Params()
 	if len(c.Units) != m {

@@ -36,6 +36,10 @@ type tcpFabric struct {
 	alive   int
 	mu      sync.Mutex
 	closed  bool
+	// readers tracks the per-connection reader goroutines so DrainFabric can
+	// wait for every worker's clean close before the master tears the
+	// connections down.
+	readers sync.WaitGroup
 	// Measured wire traffic of the master's connections, counted at the
 	// connection layer (every byte crossing the sockets, framing included).
 	bytesIn  atomic.Int64
@@ -55,6 +59,14 @@ func (f *tcpFabric) WireTotals() (in, out int64) {
 type countingConn struct {
 	net.Conn
 	in, out *atomic.Int64
+}
+
+// CountConn wraps conn so every byte read and written is added to in and
+// out. The service daemon wraps each job's accepted data-plane connections
+// a second time with its fleet-level counters, so per-job fabric totals and
+// fleet totals are both measured at the connection layer.
+func CountConn(conn net.Conn, in, out *atomic.Int64) net.Conn {
+	return countingConn{Conn: conn, in: in, out: out}
 }
 
 func (c countingConn) Read(p []byte) (int, error) {
@@ -125,7 +137,10 @@ func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName 
 	f.conns = make([]net.Conn, 0, alive)
 	f.codecs = make([]frameCodec, 0, alive)
 	for i := 0; i < alive; i++ {
-		if tl, ok := ln.(*net.TCPListener); ok && timeout > 0 {
+		// Deadline-bound the accept when the listener supports it (TCP
+		// listeners do; wrappers forward it), so a worker that never dials
+		// cannot wedge the master.
+		if tl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok && timeout > 0 {
 			if err := tl.SetDeadline(time.Now().Add(timeout)); err != nil {
 				f.Close()
 				return nil, err
@@ -157,7 +172,9 @@ func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName 
 		f.conns = append(f.conns, conn)
 		f.codecs = append(f.codecs, codec)
 		// Reader: stream this worker's replies into the shared channel.
+		f.readers.Add(1)
 		go func(codec frameCodec) {
+			defer f.readers.Done()
 			for {
 				rep, err := codec.ReadReply()
 				if err != nil {
@@ -181,6 +198,56 @@ func (f *tcpFabric) Broadcast(mu ModelUpdate) error {
 
 func (f *tcpFabric) Replies() <-chan Reply { return f.replies }
 func (f *tcpFabric) AliveWorkers() int     { return f.alive }
+
+// drainReaders waits (up to timeout) for every connection reader to observe
+// its worker's clean close — a worker closes its side after receiving the
+// shutdown broadcast — while discarding any stale replies still in flight
+// so a full replies channel cannot wedge a reader. It reports whether all
+// readers finished in time.
+func (f *tcpFabric) drainReaders(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		f.readers.Wait()
+		close(done)
+	}()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case <-done:
+			return true
+		case rep := <-f.replies:
+			// In-flight straggler replies from the final iteration: nobody
+			// will decode them, drop them so their reader can exit.
+			_ = rep
+		case <-deadline.C:
+			return false
+		}
+	}
+}
+
+// drainer is the optional fabric capability behind DrainFabric: waiting for
+// the workers' clean close before the master tears its connections down.
+type drainer interface {
+	drainReaders(timeout time.Duration) bool
+}
+
+// DrainFabric performs the graceful half of fabric teardown, between the
+// engine returning and Close: it (re-)broadcasts the shutdown update (best
+// effort — the engine already sent one on a normal exit, but an interrupted
+// caller may not have) and then waits, bounded by timeout, for every worker
+// to close its side of the connection. Without the drain, Close can tear a
+// socket down while the worker's last reply is still in flight, turning a
+// clean shutdown into a connection reset on the worker. Fabrics without
+// real connection readers (the channel fabric) drain trivially. It reports
+// whether the fabric drained within the timeout.
+func DrainFabric(fab Fabric, timeout time.Duration) bool {
+	_ = fab.Broadcast(ModelUpdate{Iter: -1})
+	if d, ok := fab.(drainer); ok {
+		return d.drainReaders(timeout)
+	}
+	return true
+}
 
 func (f *tcpFabric) Close() error {
 	f.mu.Lock()
@@ -275,6 +342,16 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 // runtime wires a shared pool instead.
 func ServeMaster(ln net.Listener, alive int, timeout time.Duration, codecName string, comm CommOptions, dim int) (Fabric, error) {
 	return acceptWorkers(ln, alive, timeout, codecName, nil, comm, dim)
+}
+
+// ServeMasterPool is ServeMaster with a caller-supplied payload-buffer
+// pool: reply payloads deserialize straight into pooled buffers that the
+// engine recycles after each decode, so a long-running host (the service
+// daemon, which runs one engine per job over leased fleet workers) keeps
+// the allocation-free steady state of the in-process TCP runtime. Pass
+// Config.Buffers() of the run the fabric will drive.
+func ServeMasterPool(ln net.Listener, alive int, timeout time.Duration, codecName string, pool *BufferPool, comm CommOptions, dim int) (Fabric, error) {
+	return acceptWorkers(ln, alive, timeout, codecName, pool, comm, dim)
 }
 
 // Fabric is the exported face of the master-side substrate, for callers

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"bcc/internal/core"
+	"bcc/internal/wire"
+)
+
+// Client is a connection to a daemon's control plane: submit jobs, poll
+// their status, cancel them. Methods are safe for concurrent use — the
+// session is a lockstep request/reply exchange, serialized by a mutex.
+type Client struct {
+	conn net.Conn
+	w    *wire.Writer
+	r    *wire.Reader
+	mu   chan struct{} // capacity-1 semaphore; select-able for ctx support
+}
+
+// Dial connects a client to a daemon at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, w: wire.NewWriter(conn), r: wire.NewReader(conn), mu: make(chan struct{}, 1)}
+	c.mu <- struct{}{}
+	return c, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip serializes one request frame and reads the daemon's State reply.
+func (c *Client) roundTrip(write func() error) (JobStatus, error) {
+	<-c.mu
+	defer func() { c.mu <- struct{}{} }()
+	if err := write(); err != nil {
+		return JobStatus{}, fmt.Errorf("service: client write: %w", err)
+	}
+	k, err := c.r.NextKind()
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: client read: %w", err)
+	}
+	if k != wire.KindState {
+		return JobStatus{}, fmt.Errorf("service: client got unexpected frame kind %d", k)
+	}
+	s, err := c.r.ReadState()
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: client read: %w", err)
+	}
+	var st JobStatus
+	if len(s.Status) > 0 {
+		if jerr := json.Unmarshal(s.Status, &st); jerr != nil {
+			return JobStatus{}, fmt.Errorf("service: client decoding status: %w", jerr)
+		}
+	}
+	if s.Err != "" {
+		return st, errors.New(s.Err)
+	}
+	return st, nil
+}
+
+// Submit encodes the spec (rejecting process-local state, exactly like a
+// daemon-side Submit) and enqueues it, returning the accepted job's initial
+// status.
+func (c *Client) Submit(spec core.Spec) (JobStatus, error) {
+	data, err := core.EncodeSpec(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return c.roundTrip(func() error { return c.w.WriteSubmit(wire.Submit{Spec: data}) })
+}
+
+// Status fetches a job's current snapshot.
+func (c *Client) Status(id core.JobID) (JobStatus, error) {
+	return c.roundTrip(func() error { return c.w.WriteStatus(uint64(id)) })
+}
+
+// Cancel requests cancellation and returns the job's status after the
+// request is applied (a running job may still be winding down).
+func (c *Client) Cancel(id core.JobID) (JobStatus, error) {
+	return c.roundTrip(func() error { return c.w.WriteCancel(uint64(id)) })
+}
+
+// Watch polls a job until it reaches a terminal state (or ctx expires),
+// invoking fn — if non-nil — on every snapshot, and returns the final
+// status.
+func (c *Client) Watch(ctx context.Context, id core.JobID, every time.Duration, fn func(JobStatus)) (JobStatus, error) {
+	if every <= 0 {
+		every = 200 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		if fn != nil {
+			fn(st)
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestControlFrameRoundTrips drives every control frame through a shared
+// stream and checks both the kind dispatch and the decoded bodies.
+func TestControlFrameRoundTrips(t *testing.T) {
+	join := Join{Name: "worker-7"}
+	assign := Assign{Job: 42, Index: 3, Port: 61234, Spec: []byte(`{"workers":4}`)}
+	idle := Idle{Job: 42, Err: "lease torn down"}
+	submit := Submit{Spec: []byte(`{"scheme":"bcc"}`)}
+	state := State{Job: 9, Err: "", Status: []byte(`{"state":"running"}`)}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteJoin(join); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAssign(assign); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteIdle(idle); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSubmit(submit); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteStatus(17); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCancel(18); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteState(state); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	expect := func(kind byte) {
+		t.Helper()
+		k, err := r.NextKind()
+		if err != nil {
+			t.Fatalf("NextKind: %v", err)
+		}
+		if k != kind {
+			t.Fatalf("NextKind = %d, want %d", k, kind)
+		}
+	}
+
+	expect(KindJoin)
+	if got, err := r.ReadJoin(); err != nil || got != join {
+		t.Fatalf("ReadJoin = %+v, %v (want %+v)", got, err, join)
+	}
+	expect(KindAssign)
+	got, err := r.ReadAssign()
+	if err != nil || got.Job != assign.Job || got.Index != assign.Index ||
+		got.Port != assign.Port || !bytes.Equal(got.Spec, assign.Spec) {
+		t.Fatalf("ReadAssign = %+v, %v (want %+v)", got, err, assign)
+	}
+	expect(KindIdle)
+	if got, err := r.ReadIdle(); err != nil || got != idle {
+		t.Fatalf("ReadIdle = %+v, %v (want %+v)", got, err, idle)
+	}
+	expect(KindSubmit)
+	if got, err := r.ReadSubmit(); err != nil || !bytes.Equal(got.Spec, submit.Spec) {
+		t.Fatalf("ReadSubmit = %+v, %v (want %+v)", got, err, submit)
+	}
+	expect(KindStatus)
+	if id, err := r.ReadJobID(); err != nil || id != 17 {
+		t.Fatalf("ReadJobID = %d, %v (want 17)", id, err)
+	}
+	expect(KindCancel)
+	if id, err := r.ReadJobID(); err != nil || id != 18 {
+		t.Fatalf("ReadJobID = %d, %v (want 18)", id, err)
+	}
+	expect(KindState)
+	st, err := r.ReadState()
+	if err != nil || st.Job != state.Job || st.Err != state.Err || !bytes.Equal(st.Status, state.Status) {
+		t.Fatalf("ReadState = %+v, %v (want %+v)", st, err, state)
+	}
+}
+
+// TestControlFrameEmptyBlobs pins the empty-string / empty-slice cases.
+func TestControlFrameEmptyBlobs(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteJoin(Join{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteIdle(Idle{Job: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.NextKind(); err != nil {
+		t.Fatal(err)
+	}
+	if j, err := r.ReadJoin(); err != nil || j.Name != "" {
+		t.Fatalf("ReadJoin = %+v, %v", j, err)
+	}
+	if _, err := r.NextKind(); err != nil {
+		t.Fatal(err)
+	}
+	if i, err := r.ReadIdle(); err != nil || i.Job != 1 || i.Err != "" {
+		t.Fatalf("ReadIdle = %+v, %v", i, err)
+	}
+}
+
+// TestControlFrameTruncation checks that every strict prefix of a control
+// frame errors out cleanly instead of succeeding or panicking.
+func TestControlFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteAssign(Assign{Job: 7, Index: 1, Port: 1234, Spec: []byte("spec-bytes")}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for cut := 0; cut < len(frame); cut++ {
+		r := NewReader(bytes.NewReader(frame[:cut]))
+		if _, err := r.NextKind(); err != nil {
+			continue
+		}
+		if _, err := r.ReadAssign(); err == nil {
+			t.Fatalf("reading a %d-byte prefix of a %d-byte assign frame succeeded", cut, len(frame))
+		}
+	}
+}
+
+// TestBlobCap checks the blob length guard on both ends.
+func TestBlobCap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteSubmit(Submit{Spec: make([]byte, maxBlobLen+1)}); err == nil ||
+		!strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized blob write err = %v, want length guard", err)
+	}
+	// A forged oversized length prefix must be rejected before allocating.
+	buf.Reset()
+	buf.WriteByte(KindSubmit)
+	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // ~2 GiB little-endian
+	r := NewReader(&buf)
+	if _, err := r.NextKind(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadSubmit(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("forged blob length err = %v, want length guard", err)
+	}
+}
+
+// TestNextKindRange pins the accepted kind range after the control-plane
+// extension: 1..10 dispatch, everything else errors.
+func TestNextKindRange(t *testing.T) {
+	for k := byte(0); k < 16; k++ {
+		r := NewReader(bytes.NewReader([]byte{k}))
+		got, err := r.NextKind()
+		if k >= KindHello && k <= KindState {
+			if err != nil || got != k {
+				t.Fatalf("NextKind(%d) = %d, %v; want %d, nil", k, got, err, k)
+			}
+		} else if err == nil {
+			t.Fatalf("NextKind(%d) accepted an unknown kind", k)
+		}
+	}
+}

@@ -542,13 +542,14 @@ func (r *Reader) vecQuery() ([]float64, error) {
 	return r.vecRaw(nil, nil)
 }
 
-// NextKind reads the next frame's kind byte.
+// NextKind reads the next frame's kind byte. Data-plane and control-plane
+// kinds (see control.go) share one contiguous range.
 func (r *Reader) NextKind() (byte, error) {
 	k, err := r.u8()
 	if err != nil {
 		return 0, err
 	}
-	if k != KindHello && k != KindModel && k != KindReply {
+	if k < KindHello || k > KindState {
 		return 0, fmt.Errorf("wire: unknown frame kind %d", k)
 	}
 	return k, nil
