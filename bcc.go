@@ -31,7 +31,10 @@ import (
 // CheckpointEvery/CheckpointPath, DropProb/DropSeed, ComputeParallelism,
 // DecodeParallelism — are honoured identically on every runtime, and
 // Density switches the synthetic generator to sparse CSR features (worker
-// gradients then cost O(nnz) instead of O(rows·p)).
+// gradients then cost O(nnz) instead of O(rows·p)). MasterShards > 1
+// partitions the master's decode + update data plane into M shards owning
+// contiguous coordinate slices — bit-identical results on every runtime,
+// with per-shard measurements in Result.Shards.
 type Spec = core.Spec
 
 // Job is a materialized training run; create with NewJob, execute with Run
@@ -47,6 +50,12 @@ type Result = cluster.Result
 // IterStats is one iteration's measurements (wall/comm/comp split, workers
 // heard, units and bytes received).
 type IterStats = cluster.IterStats
+
+// ShardStats is one master shard's cumulative measurements on a sharded run
+// (Spec.MasterShards > 1): the owned coordinate range [Lo, Hi), decode time,
+// bytes attributed to the slice, and queue depth. Reported in Result.Shards
+// and, for service jobs, in JobStatus.Shards and the /metrics gauges.
+type ShardStats = cluster.ShardStats
 
 // ErrStalled is returned when every alive worker has reported and the
 // gradient is still unrecoverable (too many failures for the scheme's

@@ -14,9 +14,11 @@
 // (dense-vs-sparse worker gradients across densities and dimensions, decode
 // across payload sizes and DecodeParallelism), the comm plane (payload
 // codec × dimension × workers over tcp loopback with measured wire bytes),
-// and the service plane (jobs × workers throughput through the multi-tenant
-// daemon, queue-vs-run time split), writing a JSON report (-sweep-out,
-// default BENCH_PR7.json); -sweep-quick shrinks it to CI-smoke sizes.
+// the service plane (jobs × workers throughput through the multi-tenant
+// daemon, queue-vs-run time split), and the sharded master (coordinate-
+// partitioned decode plus end-to-end scatter-plane runs at M ∈ {1, 2, 4}),
+// writing a JSON report (-sweep-out, default BENCH_PR8.json); -sweep-quick
+// shrinks it to CI-smoke sizes.
 package main
 
 import (
@@ -43,8 +45,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "deadline for the whole suite (0 = none); Ctrl-C also aborts cleanly")
 		csvDir     = flag.String("csv", "", "directory to also write <id>.csv files into")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
-		sweep      = flag.Bool("sweep", false, "run the performance sweep (gradients × density, decode × parallelism, codec × dim × workers over tcp, service jobs × workers) instead of paper artifacts")
-		sweepOut   = flag.String("sweep-out", "BENCH_PR7.json", "where -sweep writes its JSON report")
+		sweep      = flag.Bool("sweep", false, "run the performance sweep (gradients × density, decode × parallelism, codec × dim × workers over tcp, service jobs × workers, sharded master) instead of paper artifacts")
+		sweepOut   = flag.String("sweep-out", "BENCH_PR8.json", "where -sweep writes its JSON report")
 		sweepQuick = flag.Bool("sweep-quick", false, "tiny -sweep sizes for a fast smoke run")
 	)
 	flag.Parse()

@@ -1,14 +1,16 @@
 package main
 
-// The performance sweep behind BENCH_PR7.json: dense-vs-sparse worker
+// The performance sweep behind BENCH_PR8.json: dense-vs-sparse worker
 // gradient cost across densities and dimensions, the master's decode path
 // across payload sizes and DecodeParallelism levels, the comm plane —
 // payload codec × dimension × workers over real tcp loopback with the
-// engine's measured wire-byte accounting — and the service plane: jobs ×
-// workers batch throughput through the multi-tenant daemon with the
-// queue-vs-run split of each tenant's lifetime. Run with
+// engine's measured wire-byte accounting — the service plane: jobs × workers
+// batch throughput through the multi-tenant daemon with the queue-vs-run
+// split of each tenant's lifetime — and the sharded master: the
+// coordinate-partitioned decode hot path plus end-to-end scatter-plane runs
+// at M ∈ {1, 2, 4} shards. Run with
 //
-//	bccbench -sweep                       # full sizes, writes BENCH_PR7.json
+//	bccbench -sweep                       # full sizes, writes BENCH_PR8.json
 //	bccbench -sweep -sweep-quick          # tiny sizes for the CI smoke step
 //
 // Every measurement uses testing.Benchmark, so ns/op and allocs/op follow
@@ -33,6 +35,7 @@ import (
 	"bcc/internal/rngutil"
 	"bcc/internal/service"
 	"bcc/internal/vecmath"
+	"bcc/internal/wire"
 )
 
 type sweepGradient struct {
@@ -82,6 +85,27 @@ type sweepService struct {
 	MaxQueueSec float64 `json:"queue_s_max"`
 }
 
+type sweepSharded struct {
+	// Mode is "decode" (offer + sharded DecodeSliceInto, BenchmarkDecode
+	// methodology) or "endtoend" (full tcp-loopback training run over the
+	// scatter data plane, benchComm methodology).
+	Mode    string `json:"mode"`
+	Scheme  string `json:"scheme,omitempty"`
+	P       int    `json:"p"`
+	Workers int    `json:"workers,omitempty"`
+	Shards  int    `json:"shards"`
+	Iters   int    `json:"iters,omitempty"`
+	// Decode rows.
+	NsOp     float64 `json:"ns_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+	// End-to-end rows.
+	WallSec    float64 `json:"wall_s,omitempty"`
+	WireInIter float64 `json:"wire_in_bytes_iter,omitempty"`
+	// VsM1 compares against the shards=1 row of the same cell (ns_op for
+	// decode rows, wall_s for end-to-end rows); < 1 is a speedup.
+	VsM1 float64 `json:"vs_m1,omitempty"`
+}
+
 type sweepReport struct {
 	PR          int               `json:"pr"`
 	Title       string            `json:"title"`
@@ -91,6 +115,7 @@ type sweepReport struct {
 	Decode      []sweepDecode     `json:"decode"`
 	Comm        []sweepComm       `json:"comm"`
 	Service     []sweepService    `json:"service"`
+	Sharded     []sweepSharded    `json:"sharded"`
 }
 
 // runSweep executes the dense-vs-sparse × density × parallelism sweep and
@@ -106,8 +131,8 @@ func runSweep(path string, quick bool) error {
 	}
 	densities := []float64{1, 0.05, 0.01}
 	rep := &sweepReport{
-		PR:    7,
-		Title: "Multi-tenant coded-training service: job queue, worker leasing, HTTP status/metrics (compute- and comm-plane rows re-recorded from PRs 5-6)",
+		PR:    8,
+		Title: "Sharded master data plane: coordinate-partitioned decode, update and checkpoint across M master shards (earlier-plane rows re-recorded from PR 7)",
 		Environment: map[string]string{
 			"goos":       runtime.GOOS,
 			"goarch":     runtime.GOARCH,
@@ -120,11 +145,14 @@ func runSweep(path string, quick bool) error {
 			"decode: BenchmarkDecode methodology (offer-until-decodable + DecodeInto on a reused decoder, m=n=" + fmt.Sprint(decN) + " r=" + fmt.Sprint(decR) + "); parallelism > 1 shards the decode combination element-wise with bit-identical output",
 			"parallelism speedups require gomaxprocs > 1: vecmath.Shard caps the fan-out at GOMAXPROCS, so on a single-CPU host the parallel rows degrade to the serial partition (one chunk) and measure only the fixed sharding overhead (one closure alloc per decode), not a win",
 			"serial decode rows (parallelism=1) pin the zero-steady-state-alloc invariant of the PR 3 data plane (allocs_op 0 after the one-time solve-cache warmup); compare ns_op against BENCH_PR3.json decode at p=1024 under the same methodology",
-			"comm: full tcp-loopback training runs (wire frames, zero injected latency, scheme bcc m=n r=n/4, wall = best of 3 reps) with the measured wire-byte accounting of the engine; wire_in counts worker->master reply frames (max over reps: shutdown can race the reader of a straggler's final post-decode frames on a loaded host, while broadcast bytes are rep-identical and asserted), wire_out the master's query broadcasts; in_vs_raw64 and wall_vs_raw64 compare each codec against the raw64 row of the same (p, workers) cell",
+			"comm: full tcp-loopback training runs (wire frames, zero injected latency, scheme bcc m=n r=n/4, wall = best of 3 reps) with the measured wire-byte accounting of the engine; runs end only after the fabric drains (LiveOptions.Drain), so both wire_in (worker->master reply frames) and wire_out (query broadcasts) are rep-identical and asserted equal across reps; in_vs_raw64 and wall_vs_raw64 compare each codec against the raw64 row of the same (p, workers) cell",
 			"comm wall caveat: on this zero-latency single-host loopback the byte savings buy no transfer time, so wall_vs_raw64 only bounds the codecs' CPU overhead (top-k selection is O(p log K) per reply); the latency win of smaller payloads shows up when transfer time is real — the sim runtime models it by scaling upload/ingress latency with the codec's byte fraction",
 			"comm: f32 halves reply payload words, topk (K=p/16 by default) keeps K index+value pairs per vector — queries stay dense (raw64 under topk, f32-quantized under f32), so wire_out shrinks only under f32",
 			"service: each row submits `jobs` identical tcp jobs (scheme bcc, job_workers each, real loopback sockets) to one in-process daemon leasing from `fleet_workers`; wall is first-submit to last-done, queue_s_total/run_s_total split every job's lifetime into FIFO admission wait vs engine time, and queue_s_max is the worst tenant's wait — rows where jobs*job_workers > fleet_workers show the queueing penalty, rows where it fits show near-zero queue time",
 			"service caveat: on this single-CPU host concurrent tenants time-share one core, so jobs_per_s does not scale with fleet size; the rows still pin the queue-vs-run accounting and the admission behaviour",
+			"sharded decode: BenchmarkDecode methodology with the master-shard split — offer until decodable, then M persistent shard goroutines (the engine's two-channel-ops dispatch) each DecodeSliceInto + scale + UpdateSlice their contiguous chunk-aligned coordinate slice, the in-process masterShards hot path; shards=1 is the same loop on one slice, vs_m1 = ns_op / that row's ns_op; results are bit-identical at every M and allocs_op pins the zero-steady-state-alloc invariant of the sharded engine",
+			"sharded endtoend: the comm-sweep methodology at shards=M — full tcp-loopback run where workers scatter reply slices to M per-shard listeners and the sharded engine decodes; wire_in_bytes_iter counts ALL data-plane sockets (primary + shards), so it matches the unsharded row up to the scatter plane's raw64 slice framing; vs_m1 = wall_s / the shards=1 row's wall_s",
+			"sharded caveat: gomaxprocs=1 on this host means shard goroutines time-share one core, so vs_m1 > 1 measures only the dispatch+join overhead of the shard group (and the scatter plane's extra sockets), not the multi-core decode win; on a multi-core host the decode rows scale with min(M, cores) exactly like DecodeParallelism",
 		},
 	}
 	for _, p := range dims {
@@ -163,7 +191,7 @@ func runSweep(path string, quick bool) error {
 		for _, n := range commWorkers {
 			var raw sweepComm
 			for _, codec := range []string{"raw64", "f32", "topk"} {
-				c, err := benchComm(codec, p, n, commIters)
+				c, err := benchComm(codec, p, n, commIters, 0)
 				if err != nil {
 					return err
 				}
@@ -196,6 +224,47 @@ func runSweep(path string, quick bool) error {
 		rep.Service = append(rep.Service, s)
 		fmt.Printf("service jobs=%-2d fleet=%-2d wn=%-2d  wall %-7.3fs  %-6.2f jobs/s  queue %-7.3fs run %.3fs\n",
 			s.Jobs, s.Fleet, s.JobWorkers, s.WallSec, s.JobsPerSec, s.QueueSec, s.RunSec)
+	}
+	// Sharded rows: the master-shard split of the decode hot path at the
+	// largest dimension, plus full end-to-end runs over the scatter data
+	// plane. The M=1 row of each cell anchors the vs_m1 ratios.
+	shardCounts := []int{1, 2, 4}
+	shardP := dims[len(dims)-1]
+	var decBase float64
+	for _, msh := range shardCounts {
+		row, err := benchShardedDecode("bcc", decM, decN, decR, shardP, msh)
+		if err != nil {
+			return err
+		}
+		if msh == 1 {
+			decBase = row.NsOp
+		} else if decBase > 0 {
+			row.VsM1 = row.NsOp / decBase
+		}
+		rep.Sharded = append(rep.Sharded, row)
+		fmt.Printf("sharded decode   p=%-6d M=%d  %-12.0f ns/op  %d allocs/op  vs_m1 %.3f\n",
+			shardP, msh, row.NsOp, row.AllocsOp, row.VsM1)
+	}
+	e2eP, e2eN := 16384, 4
+	if quick {
+		e2eP = 256
+	}
+	var e2eBase float64
+	for _, msh := range shardCounts {
+		c, err := benchComm("raw64", e2eP, e2eN, commIters, msh)
+		if err != nil {
+			return err
+		}
+		row := sweepSharded{Mode: "endtoend", Scheme: "bcc", P: e2eP, Workers: e2eN,
+			Shards: msh, Iters: commIters, WallSec: c.WallSec, WireInIter: c.WireInIter}
+		if msh == 1 {
+			e2eBase = c.WallSec
+		} else if e2eBase > 0 {
+			row.VsM1 = c.WallSec / e2eBase
+		}
+		rep.Sharded = append(rep.Sharded, row)
+		fmt.Printf("sharded endtoend p=%-6d M=%d  wall %-7.3fs  in %-10.0f B/iter  vs_m1 %.3f\n",
+			e2eP, msh, row.WallSec, row.WireInIter, row.VsM1)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -264,9 +333,10 @@ func benchGradient(rows, p int, density float64) (sweepGradient, error) {
 
 // benchComm runs one full tcp-loopback training job (wire frames, zero
 // injected latency) under the given payload codec and reports the measured
-// per-iteration wire bytes plus wall-clock. Deterministic: same seed and
-// codec always reproduce the same traffic.
-func benchComm(codec string, p, n, iters int) (sweepComm, error) {
+// per-iteration wire bytes plus wall-clock. shards > 1 runs the sharded
+// master with the scatter data plane (per-shard listeners). Deterministic:
+// same seed and codec always reproduce the same traffic.
+func benchComm(codec string, p, n, iters, shards int) (sweepComm, error) {
 	m, r := n, n/4
 	if r < 1 {
 		r = 1
@@ -291,28 +361,27 @@ func benchComm(codec string, p, n, iters int) (sweepComm, error) {
 	mod := model.NewLogistic(ds)
 	comm := cluster.CommOptions{Payload: codec}
 	cfg := &cluster.Config{
-		Plan:       plan,
-		Model:      mod,
-		Units:      units,
-		Opt:        optimize.NewNesterov(make([]float64, mod.Dim()), optimize.Constant(0.5)),
-		Iterations: iters,
-		Latency:    cluster.Zero{},
-		Comm:       comm,
+		Plan:         plan,
+		Model:        mod,
+		Units:        units,
+		Opt:          optimize.NewNesterov(make([]float64, mod.Dim()), optimize.Constant(0.5)),
+		Iterations:   iters,
+		Latency:      cluster.Zero{},
+		Comm:         comm,
+		MasterShards: shards,
 	}
 	// Best of three runs: a full run is milliseconds, so scheduler warm-up
-	// noise dwarfs the signal on a single measurement. The broadcast side
-	// (wire_out) is exactly reproducible across reps — the master sends a
-	// fixed frame sequence — and the check pins that. The reply side can
-	// undercount on a loaded host when shutdown races the reader of a
-	// straggler's final post-decode frames, so wire_in takes the max over
-	// reps (the all-frames-read figure).
+	// noise dwarfs the signal on a single measurement. With Drain set the
+	// engine waits for every worker's clean close before sampling its wire
+	// totals, so BOTH directions are exactly reproducible across reps — the
+	// master sends a fixed frame sequence and reads every reply frame — and
+	// the checks pin that.
 	var res *cluster.Result
-	var maxIn int
 	wall := 0.0
 	for rep := 0; rep < 3; rep++ {
 		cfg.Opt = optimize.NewNesterov(make([]float64, mod.Dim()), optimize.Constant(0.5))
 		start := time.Now()
-		r, err := cluster.RunLive(cfg, cluster.LiveOptions{TCP: true, Codec: "wire", Timeout: 30 * time.Second})
+		r, err := cluster.RunLive(cfg, cluster.LiveOptions{TCP: true, Codec: "wire", Timeout: 30 * time.Second, Drain: true})
 		if err != nil {
 			return sweepComm{}, err
 		}
@@ -323,8 +392,9 @@ func benchComm(codec string, p, n, iters int) (sweepComm, error) {
 			return sweepComm{}, fmt.Errorf("comm sweep: broadcast bytes not reproducible across reps (%d vs %d)",
 				res.TotalWireOut, r.TotalWireOut)
 		}
-		if r.TotalWireIn > maxIn {
-			maxIn = r.TotalWireIn
+		if res != nil && res.TotalWireIn != r.TotalWireIn {
+			return sweepComm{}, fmt.Errorf("comm sweep: reply bytes not reproducible across reps (%d vs %d)",
+				res.TotalWireIn, r.TotalWireIn)
 		}
 		res = r
 	}
@@ -333,7 +403,7 @@ func benchComm(codec string, p, n, iters int) (sweepComm, error) {
 		P:           p,
 		Workers:     n,
 		Iters:       iters,
-		WireInIter:  float64(maxIn) / float64(iters),
+		WireInIter:  float64(res.TotalWireIn) / float64(iters),
 		WireOutIter: float64(res.TotalWireOut) / float64(iters),
 		WallSec:     wall,
 	}
@@ -410,6 +480,136 @@ func benchService(jobs, fleet, jobWorkers, iters int) (sweepService, error) {
 	cancel()
 	wg.Wait()
 	return s, nil
+}
+
+// benchShardedDecode measures the sharded master's per-iteration hot path:
+// offer until decodable, then one goroutine per shard running DecodeSliceInto
+// + gradient scale + UpdateSlice on its chunk-aligned coordinate slice — the
+// masterShards shardLoop body — joined before the coordinator's FinishStep.
+// shards=1 is the same loop over the single full-range slice.
+func benchShardedDecode(scheme string, m, n, r, p, shards int) (sweepSharded, error) {
+	s, err := coding.Lookup(scheme)
+	if err != nil {
+		return sweepSharded{}, err
+	}
+	plan, err := s.Plan(m, n, r, rngutil.New(1))
+	if err != nil {
+		return sweepSharded{}, err
+	}
+	rng := rngutil.New(2)
+	gs := make([][]float64, m)
+	for u := range gs {
+		g := make([]float64, p)
+		for t := range g {
+			g[t] = rng.Normal()
+		}
+		gs[u] = g
+	}
+	assign := plan.Assignments()
+	order := rngutil.New(3).Perm(n)
+	msgs := make([][]coding.Message, n)
+	for _, w := range order {
+		parts := make([][]float64, len(assign[w]))
+		for k, u := range assign[w] {
+			parts[k] = gs[u]
+		}
+		msgs[w] = coding.Encode(plan, w, parts)
+	}
+	dec := plan.NewDecoder()
+	sd, ok := dec.(coding.SliceDecoder)
+	if !ok {
+		return sweepSharded{}, fmt.Errorf("%s decoder does not implement SliceDecoder", scheme)
+	}
+	// The engine's shard map: contiguous ranges aligned to the default wire
+	// chunk (cluster.shardBounds with DefaultChunk).
+	bounds := chunkAlignedBounds(p, shards, wire.DefaultChunk)
+	opt := optimize.NewNesterov(make([]float64, p), optimize.Constant(0.5))
+	scale := 1 / float64(m)
+	dst := make([]float64, p)
+	errs := make([]error, shards)
+	// Persistent shard goroutines with the engine's dispatch — two channel
+	// operations per shard per iteration — so allocs_op reflects the steady
+	// state of the real hot path, not goroutine-spawn cost.
+	work := make([]chan struct{}, shards)
+	done := make(chan int, shards)
+	quit := make(chan struct{})
+	defer close(quit)
+	for sh := 0; sh < shards; sh++ {
+		work[sh] = make(chan struct{}, 1)
+		go func(sh, lo, hi int) {
+			for {
+				select {
+				case <-quit:
+					return
+				case <-work[sh]:
+				}
+				if errs[sh] = sd.DecodeSliceInto(dst, lo, hi); errs[sh] == nil {
+					for t := lo; t < hi; t++ {
+						dst[t] *= scale
+					}
+					opt.UpdateSlice(dst, lo, hi)
+				}
+				done <- sh
+			}
+		}(sh, bounds[sh], bounds[sh+1])
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dec.Reset()
+			for _, w := range order {
+				for _, msg := range msgs[w] {
+					dec.Offer(msg)
+				}
+				if dec.Decodable() {
+					break
+				}
+			}
+			for _, ch := range work {
+				ch <- struct{}{}
+			}
+			for range work {
+				<-done
+			}
+			opt.FinishStep()
+		}
+	})
+	for sh, err := range errs {
+		if err != nil {
+			return sweepSharded{}, fmt.Errorf("sharded decode: shard %d [%d,%d): %w", sh, bounds[sh], bounds[sh+1], err)
+		}
+	}
+	return sweepSharded{
+		Mode:     "decode",
+		Scheme:   scheme,
+		P:        p,
+		Shards:   shards,
+		NsOp:     float64(res.NsPerOp()),
+		AllocsOp: res.AllocsPerOp(),
+	}, nil
+}
+
+// chunkAlignedBounds mirrors the engine's shard map: [0, dim) cut into
+// `shards` contiguous ranges aligned to the wire chunk, earlier shards taking
+// the extra chunk, the final boundary clamped to dim. With more shards than
+// chunks the tail shards own empty (no-op) ranges, exactly like the engine.
+func chunkAlignedBounds(dim, shards, chunk int) []int {
+	nChunks := (dim + chunk - 1) / chunk
+	bounds := make([]int, shards+1)
+	base, extra := nChunks/shards, nChunks%shards
+	at := 0
+	for s := 0; s < shards; s++ {
+		bounds[s] = at * chunk
+		if bounds[s] > dim {
+			bounds[s] = dim
+		}
+		at += base
+		if s < extra {
+			at++
+		}
+	}
+	bounds[shards] = dim
+	return bounds
 }
 
 // benchDecode measures one offer-until-decodable round plus DecodeInto on a

@@ -23,6 +23,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,6 +61,7 @@ func main() {
 		faultSd   = fs.Uint64("fault-seed", 0, "seed for the -faults scenario (0 = derive from -seed; must match across processes)")
 		parallel  = fs.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
 		decodePar = fs.Int("decode-parallel", 0, "master: goroutines for the decode combination (0/1 = serial; bit-identical results)")
+		shards    = fs.Int("master-shards", 0, "master shards with scatter data planes on the master port +1..+M (0/1 = unsharded; must match across processes)")
 		progress  = fs.Bool("progress", false, "master: print a live per-iteration progress line")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -87,6 +89,13 @@ func main() {
 		fail(err)
 	}
 
+	// The scatter data plane needs no address exchange: shard s of a sharded
+	// master listens on the master port +1+s, and both roles derive that.
+	shardAddrs, err := shardAddrList(*addr, *shards)
+	if err != nil {
+		fail(err)
+	}
+
 	switch role {
 	case "master":
 		ln, err := net.Listen("tcp", *addr)
@@ -95,7 +104,19 @@ func main() {
 		}
 		comm := cluster.CommOptions{Payload: *codec, TopK: *topk, Chunk: *chunk}
 		fmt.Printf("master: listening on %s, waiting for %d workers\n", *addr, *n)
-		fab, err := cluster.ServeMaster(ln, *n, *wait, *frame, comm, job.Model.Dim())
+		var fab cluster.Fabric
+		if len(shardAddrs) > 0 {
+			shardLns := make([]net.Listener, len(shardAddrs))
+			for s, sa := range shardAddrs {
+				if shardLns[s], err = net.Listen("tcp", sa); err != nil {
+					fail(err)
+				}
+			}
+			fmt.Printf("master: %d shard data planes on %s .. %s\n", len(shardAddrs), shardAddrs[0], shardAddrs[len(shardAddrs)-1])
+			fab, err = cluster.ServeMasterScatterPool(ln, shardLns, *n, *n, *wait, *frame, nil, comm, job.Model.Dim())
+		} else {
+			fab, err = cluster.ServeMaster(ln, *n, *wait, *frame, comm, job.Model.Dim())
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -113,6 +134,7 @@ func main() {
 			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
 			DecodeParallelism:  *decodePar,
+			MasterShards:       *shards,
 			Comm:               comm,
 		}
 		if *progress {
@@ -139,6 +161,10 @@ func main() {
 		}
 		fmt.Printf("master: done; avg recovery threshold %.2f, payload bytes %d, wire bytes in/out %d/%d, accuracy %.4f\n",
 			res.AvgWorkersHeard, res.TotalBytes, res.TotalWireIn, res.TotalWireOut, job.Accuracy(res.FinalW))
+		for _, ss := range res.Shards {
+			fmt.Printf("master: shard %d [%d,%d) decode=%.3fms slice-bytes-in=%d\n",
+				ss.Shard, ss.Lo, ss.Hi, float64(ss.DecodeNs)/1e6, ss.SliceBytesIn)
+		}
 	case "worker":
 		if *index < 0 || *index >= *n {
 			fail(fmt.Errorf("worker index %d out of range [0,%d)", *index, *n))
@@ -155,6 +181,7 @@ func main() {
 			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
 			Pipelined:          *pipe,
+			ShardAddrs:         shardAddrs,
 		}
 		fmt.Printf("worker %d: dialing %s\n", *index, *addr)
 		if err := cluster.DialAndServeWorker(*addr, env); err != nil {
@@ -164,6 +191,27 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// shardAddrList derives the scatter listeners' addresses for a sharded
+// master: shard s lives at the master port +1+s. Returns nil when unsharded.
+func shardAddrList(addr string, shards int) ([]string, error) {
+	if shards <= 1 {
+		return nil, nil
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-master-shards needs an explicit host:port master address: %w", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port <= 0 {
+		return nil, fmt.Errorf("-master-shards needs a numeric master port, got %q", portStr)
+	}
+	out := make([]string, shards)
+	for s := range out {
+		out[s] = net.JoinHostPort(host, strconv.Itoa(port+1+s))
+	}
+	return out, nil
 }
 
 func usage() {

@@ -63,6 +63,7 @@ func main() {
 		faultSd   = flag.Uint64("fault-seed", 0, "seed for the -faults scenario (0 = derive from -seed)")
 		parallel  = flag.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
 		decodePar = flag.Int("decode-parallel", 0, "goroutines for the master's decode combination (0/1 = serial; bit-identical results)")
+		shards    = flag.Int("master-shards", 0, "master shards owning contiguous coordinate slices of decode+update (0/1 = unsharded; bit-identical results)")
 		density   = flag.Float64("density", 0, "feature density in (0,1) for a sparse CSR dataset (0 = dense)")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); on expiry partial stats are printed")
 		progress  = flag.Bool("progress", false, "print a live per-iteration progress line (iter, workers heard, grad norm)")
@@ -98,6 +99,7 @@ func main() {
 		FaultSeed:          *faultSd,
 		ComputeParallelism: *parallel,
 		DecodeParallelism:  *decodePar,
+		MasterShards:       *shards,
 		Density:            *density,
 		GradNormTol:        *gradTol,
 		LossEvery:          *lossEv,
@@ -168,7 +170,9 @@ func main() {
 	}
 	completed := 0
 	if *resume != "" {
-		if completed, err = job.RestoreCheckpoint(*resume); err != nil {
+		// Sharded jobs resume from the per-shard file set written by a
+		// sharded run; unsharded jobs from the single file.
+		if completed, err = job.RestoreShardedCheckpoint(*resume); err != nil {
 			fail(err)
 		}
 		fmt.Printf("resumed from %s (%d iterations already completed)\n", *resume, completed)
@@ -214,13 +218,22 @@ func main() {
 	if res.TotalWireIn > 0 || res.TotalWireOut > 0 {
 		fmt.Printf("measured wire bytes (in/out):           %d/%d\n", res.TotalWireIn, res.TotalWireOut)
 	}
+	for _, ss := range res.Shards {
+		fmt.Printf("master shard %d [%d,%d): decode=%.3fms slice-bytes-in=%d\n",
+			ss.Shard, ss.Lo, ss.Hi, float64(ss.DecodeNs)/1e6, ss.SliceBytesIn)
+	}
 	fmt.Printf("training accuracy:                      %.4f\n", job.Accuracy(res.FinalW))
 
 	if *ckptOut != "" {
-		if err := job.Checkpoint(*ckptOut, completed+len(res.Iters)); err != nil {
+		if err := job.CheckpointSharded(*ckptOut, completed+len(res.Iters)); err != nil {
 			fail(err)
 		}
-		fmt.Printf("checkpoint written to %s\n", *ckptOut)
+		if spec.MasterShards > 1 {
+			fmt.Printf("checkpoint written to %s.shard0..%d (one file per master shard)\n",
+				*ckptOut, spec.MasterShards-1)
+		} else {
+			fmt.Printf("checkpoint written to %s\n", *ckptOut)
+		}
 	}
 
 	if rec != nil && rec.Len() > 0 {
@@ -294,6 +307,10 @@ func submitRemote(addr string, spec core.Spec, progress bool, timeout time.Durat
 	fmt.Printf("payload bytes:          %d\n", fin.Bytes)
 	if fin.WireIn > 0 || fin.WireOut > 0 {
 		fmt.Printf("measured wire bytes:    %d in / %d out\n", fin.WireIn, fin.WireOut)
+	}
+	for _, ss := range fin.Shards {
+		fmt.Printf("master shard %d [%d,%d): decode=%.3fms slice-bytes-in=%d\n",
+			ss.Shard, ss.Lo, ss.Hi, float64(ss.DecodeNs)/1e6, ss.SliceBytesIn)
 	}
 	if fin.Faults > 0 {
 		fmt.Printf("fault events:           %d\n", fin.Faults)

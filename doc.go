@@ -208,6 +208,56 @@
 // simulator models by scaling upload/ingress latency with the byte
 // fraction.
 //
+// # Performance: the sharded master
+//
+// Spec.MasterShards = M > 1 partitions the master's per-iteration data plane
+// — decode, gradient scaling, optimizer update — into M shards, each owning
+// a contiguous slice of the p model coordinates (CLI: -master-shards on
+// bcctrain/bcccluster). The shard map is deterministic: [0, p) is cut at
+// wire-chunk boundaries (Spec.WireChunk, default 512 elements) into M
+// contiguous ranges, whole chunks distributed as evenly as possible with
+// earlier shards taking the extra chunk; with more shards than chunks the
+// tail shards own empty, no-op ranges. Every process derives the same map
+// from (p, M, chunk) — nothing is negotiated.
+//
+// The split is control plane vs data plane. The coordinator keeps everything
+// sequenced: query broadcasts, arrival intake, offering messages to the
+// decoder, decodability detection, fault handling, the optimizer's SCALAR
+// state (step count, momentum scalars via FinishStep) and the gradient norm.
+// Shards own only the coordinate-sliced heavy loops: each dispatch, shard s
+// runs DecodeSliceInto over its range, scales by 1/m, and applies the
+// optimizer's UpdateSlice there. Slice ownership is exclusive and disjoint,
+// so shards never synchronize with each other — one dispatch and one join
+// (two channel operations per shard) per iteration, with persistent shard
+// goroutines keeping the steady state allocation-free. Because the scalar
+// update factors (step size, momentum beta) are pure functions of the scalar
+// state, any partition reproduces the unsharded update bit-for-bit: sharding
+// is a wall-clock knob, never a numerics knob, which the conformance matrix
+// pins across every scheme, runtime and fault scenario.
+//
+// Sharding composes with both fabrics. In-process (sim/live, or TCP with a
+// single data plane) the shards are goroutines decoding slices of the shared
+// arrival buffers. On the TCP runtime the data plane itself scatters:
+// a sharded master opens one listener per shard beside the primary
+// (control) listener, the handshake carries the shard map, and each worker
+// splits every encoded reply at the shard boundaries, sending slice frames
+// directly to the owning shard's socket — the lossy payload transform is
+// applied once, before the split, so scatter preserves codec semantics.
+// Per-shard ingress is then MEASURED at each shard socket
+// (ShardStats.SliceBytesIn); in-process runs attribute the modelled payload
+// bytes width-proportionally instead. Result.Shards reports the per-shard
+// totals (decode time, slice bytes, queue depth), JobStatus.Shards and the
+// daemon's /metrics expose the same for service jobs, and checkpoints
+// follow the partition: Job.CheckpointSharded writes one self-describing
+// file per shard (path.shard0 …) and Job.RestoreShardedCheckpoint merges
+// them back into the exact full state, cross-checking shard identity and
+// iteration to reject torn sets — periodic checkpoints (CheckpointEvery)
+// and bcctrain's -checkpoint/-resume take the sharded path automatically
+// whenever MasterShards > 1. BENCH_PR8.json records the
+// committed sweep (single-core host: the rows bound dispatch overhead; the
+// decode slices scale with min(M, cores) on multi-core hosts, exactly like
+// DecodeParallelism).
+//
 // # Running as a service
 //
 // The package also runs as a long-lived multi-tenant daemon (bccserve,

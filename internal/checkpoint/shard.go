@@ -1,0 +1,172 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+
+	"bcc/internal/optimize"
+)
+
+// Sharded checkpoints: a sharded master (cluster.Config.MasterShards) owns
+// the model coordinate-wise, so its natural checkpoint unit is a coordinate
+// slice. A full State splits into per-shard files with SliceOf/SaveShard and
+// reassembles with LoadShard/Merge; the merged state is bit-identical to the
+// original, so restore-and-resume semantics are exactly the unsharded ones.
+//
+// Scalar optimizer state (iteration count, momentum scalars) advances once
+// per iteration on the coordinator, so it is replicated into every shard's
+// file: each file is self-describing, and Merge cross-checks the replicas to
+// catch shards from different iterations (a torn checkpoint) early.
+
+// Shard is one master shard's slice of a checkpoint: the full job identity
+// plus the optimizer vectors restricted to the shard's coordinate range
+// [Lo, Hi). Dim in the embedded State remains the FULL model dimension.
+type Shard struct {
+	// Format versions the encoding; bump on incompatible changes.
+	Format int
+	// Shard is this slice's index in [0, Shards); Shards is the shard count
+	// the checkpoint was split into.
+	Shard  int
+	Shards int
+	// Lo and Hi are the owned coordinate range [Lo, Hi).
+	Lo, Hi int
+	// State carries the job identity, scalar optimizer state and the vector
+	// fields sliced to [Lo, Hi).
+	State State
+}
+
+// SliceOf extracts one shard's checkpoint: the scalar state verbatim, the
+// vector fields copied down to [lo, hi). Empty ranges (lo == hi, a shard
+// with more peers than chunks) are valid.
+func (s *State) SliceOf(shard, shards, lo, hi int) (*Shard, error) {
+	switch {
+	case s == nil:
+		return nil, fmt.Errorf("checkpoint: slicing nil state")
+	case shards <= 0 || shard < 0 || shard >= shards:
+		return nil, fmt.Errorf("checkpoint: shard %d of %d out of range", shard, shards)
+	case lo < 0 || hi < lo || hi > s.Dim:
+		return nil, fmt.Errorf("checkpoint: slice [%d,%d) outside model dim %d", lo, hi, s.Dim)
+	}
+	sl := *s // scalars and identity travel whole
+	sl.Opt = sliceOptState(s.Opt, lo, hi)
+	return &Shard{Shard: shard, Shards: shards, Lo: lo, Hi: hi, State: sl}, nil
+}
+
+func sliceOptState(o optimize.State, lo, hi int) optimize.State {
+	out := o
+	if o.W != nil {
+		out.W = append([]float64(nil), o.W[lo:hi]...)
+	}
+	if o.WPrev != nil {
+		out.WPrev = append([]float64(nil), o.WPrev[lo:hi]...)
+	}
+	return out
+}
+
+// Merge reassembles a full checkpoint from the complete shard set. The parts
+// may arrive in any order; Merge verifies that they form one checkpoint —
+// same identity, same scalar optimizer state, every shard index present
+// exactly once, ranges contiguous and covering [0, Dim) — and returns the
+// state that SliceOf split, bit for bit.
+func Merge(parts []*Shard) (*State, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("checkpoint: merging zero shards")
+	}
+	sorted := append([]*Shard(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	ref := sorted[0]
+	if len(sorted) != ref.Shards {
+		return nil, fmt.Errorf("checkpoint: %d shards present, checkpoint was split into %d", len(sorted), ref.Shards)
+	}
+	out := ref.State // scalars and identity from shard 0; vectors rebuilt below
+	// A vector is present in the checkpoint iff some non-empty shard carries
+	// it (an empty shard's slice is indistinguishable from absence, so
+	// presence cannot be read off any single shard).
+	var haveW, haveWPrev bool
+	for _, sh := range sorted {
+		haveW = haveW || len(sh.State.Opt.W) > 0
+		haveWPrev = haveWPrev || len(sh.State.Opt.WPrev) > 0
+	}
+	out.Opt.W, out.Opt.WPrev = nil, nil
+	if haveW {
+		out.Opt.W = make([]float64, ref.State.Dim)
+	}
+	if haveWPrev {
+		out.Opt.WPrev = make([]float64, ref.State.Dim)
+	}
+	at := 0
+	for i, sh := range sorted {
+		if sh.Shard != i {
+			return nil, fmt.Errorf("checkpoint: shard %d missing (found index %d twice)", i, sh.Shard)
+		}
+		if err := shardMatches(ref, sh); err != nil {
+			return nil, err
+		}
+		if sh.Lo != at {
+			return nil, fmt.Errorf("checkpoint: shard %d starts at %d, want %d (ranges must be contiguous)", i, sh.Lo, at)
+		}
+		want := sh.Hi - sh.Lo
+		if want > 0 && ((haveW && len(sh.State.Opt.W) != want) || (haveWPrev && len(sh.State.Opt.WPrev) != want)) {
+			return nil, fmt.Errorf("checkpoint: shard %d vectors do not match its range [%d,%d)", i, sh.Lo, sh.Hi)
+		}
+		if haveW {
+			copy(out.Opt.W[sh.Lo:sh.Hi], sh.State.Opt.W)
+		}
+		if haveWPrev {
+			copy(out.Opt.WPrev[sh.Lo:sh.Hi], sh.State.Opt.WPrev)
+		}
+		at = sh.Hi
+	}
+	if at != ref.State.Dim {
+		return nil, fmt.Errorf("checkpoint: shards cover [0,%d), model dim is %d", at, ref.State.Dim)
+	}
+	return &out, nil
+}
+
+// shardMatches verifies that sh belongs to the same checkpoint as ref: same
+// split, identity and scalar optimizer state (a disagreement means the files
+// were written by different iterations or different jobs).
+func shardMatches(ref, sh *Shard) error {
+	a, b := ref.State, sh.State
+	switch {
+	case sh.Shards != ref.Shards:
+		return fmt.Errorf("checkpoint: shard %d was split %d-way, shard %d %d-way", ref.Shard, ref.Shards, sh.Shard, sh.Shards)
+	case a.Scheme != b.Scheme || a.M != b.M || a.N != b.N || a.R != b.R || a.Dim != b.Dim || a.Seed != b.Seed:
+		return fmt.Errorf("checkpoint: shard %d belongs to a different job than shard %d", sh.Shard, ref.Shard)
+	case a.Completed != b.Completed:
+		return fmt.Errorf("checkpoint: shard %d is at iteration %d, shard %d at %d (torn checkpoint)",
+			sh.Shard, b.Completed, ref.Shard, a.Completed)
+	case a.Opt.Kind != b.Opt.Kind || a.Opt.T != b.Opt.T || a.Opt.Theta != b.Opt.Theta:
+		return fmt.Errorf("checkpoint: shard %d scalar optimizer state differs from shard %d", sh.Shard, ref.Shard)
+	}
+	return nil
+}
+
+// ShardPath is the conventional per-shard file name for a checkpoint at
+// path: "<path>.shard<k>".
+func ShardPath(path string, shard int) string {
+	return fmt.Sprintf("%s.shard%d", path, shard)
+}
+
+// SaveShard writes one shard atomically to path (same tmp+fsync+rename
+// protocol as Save).
+func SaveShard(path string, sh *Shard) error {
+	if sh == nil {
+		return fmt.Errorf("checkpoint: nil shard")
+	}
+	sh.Format = CurrentFormat
+	sh.State.Format = CurrentFormat
+	return writeAtomic(path, sh)
+}
+
+// LoadShard reads one shard from path.
+func LoadShard(path string) (*Shard, error) {
+	var sh Shard
+	if err := readGob(path, &sh); err != nil {
+		return nil, err
+	}
+	if sh.Format != CurrentFormat {
+		return nil, fmt.Errorf("checkpoint: unsupported shard format %d (want %d)", sh.Format, CurrentFormat)
+	}
+	return &sh, nil
+}

@@ -1,0 +1,210 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bcc/internal/optimize"
+)
+
+// shardableState is a checkpoint whose vectors actually span Dim (unlike the
+// minimal sampleState), so slicing exercises real coordinate ranges.
+func shardableState(dim int) *State {
+	w := make([]float64, dim)
+	wPrev := make([]float64, dim)
+	for i := range w {
+		w[i] = float64(i) + 0.25
+		wPrev[i] = float64(i) - 0.75
+	}
+	return &State{
+		Scheme: "bcc", M: 8, N: 8, R: 4, Dim: dim, Seed: 11,
+		Completed: 6,
+		Opt:       optimize.State{Kind: "nesterov", T: 6, Theta: 1.5, W: w, WPrev: wPrev},
+	}
+}
+
+// splitEven cuts [0, dim) into contiguous shards (the test's stand-in for the
+// engine's chunk-aligned shard map; Merge only requires contiguity).
+func splitEven(t *testing.T, s *State, shards int) []*Shard {
+	t.Helper()
+	parts := make([]*Shard, shards)
+	at := 0
+	for k := 0; k < shards; k++ {
+		hi := at + (s.Dim-at)/(shards-k)
+		sh, err := s.SliceOf(k, shards, at, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[k] = sh
+		at = hi
+	}
+	return parts
+}
+
+func sameState(t *testing.T, got, want *State) {
+	t.Helper()
+	if got.Scheme != want.Scheme || got.M != want.M || got.N != want.N || got.R != want.R ||
+		got.Dim != want.Dim || got.Seed != want.Seed || got.Completed != want.Completed {
+		t.Fatalf("identity drifted: got %+v want %+v", got, want)
+	}
+	if got.Opt.Kind != want.Opt.Kind || got.Opt.T != want.Opt.T || got.Opt.Theta != want.Opt.Theta {
+		t.Fatalf("scalar optimizer state drifted: got %+v want %+v", got.Opt, want.Opt)
+	}
+	if len(got.Opt.W) != len(want.Opt.W) || len(got.Opt.WPrev) != len(want.Opt.WPrev) {
+		t.Fatalf("vector lengths: W %d/%d WPrev %d/%d",
+			len(got.Opt.W), len(want.Opt.W), len(got.Opt.WPrev), len(want.Opt.WPrev))
+	}
+	for i := range want.Opt.W {
+		if got.Opt.W[i] != want.Opt.W[i] {
+			t.Fatalf("W[%d] = %v, want %v", i, got.Opt.W[i], want.Opt.W[i])
+		}
+	}
+	for i := range want.Opt.WPrev {
+		if got.Opt.WPrev[i] != want.Opt.WPrev[i] {
+			t.Fatalf("WPrev[%d] = %v, want %v", i, got.Opt.WPrev[i], want.Opt.WPrev[i])
+		}
+	}
+}
+
+// TestShardSplitMergeRoundTrip: SliceOf then Merge is the identity for any
+// shard count, including shards with empty ranges and out-of-order parts,
+// with and without momentum vectors.
+func TestShardSplitMergeRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7, 24, 30} {
+		s := shardableState(24)
+		parts := splitEven(t, s, shards)
+		// Merge must not care about order.
+		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		got, err := Merge(parts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		sameState(t, got, s)
+	}
+	// GD state: no WPrev; the merged state must keep it nil.
+	s := shardableState(12)
+	s.Opt.Kind, s.Opt.WPrev = "gd", nil
+	got, err := Merge(splitEven(t, s, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opt.WPrev != nil {
+		t.Fatal("merge invented a WPrev vector")
+	}
+	sameState(t, got, s)
+}
+
+// TestShardSliceIsACopy: mutating the original state after SliceOf must not
+// leak into the shard (each shard file is written independently).
+func TestShardSliceIsACopy(t *testing.T) {
+	s := shardableState(8)
+	sh, err := s.SliceOf(0, 2, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Opt.W[0] = -999
+	if sh.State.Opt.W[0] == -999 {
+		t.Fatal("shard aliases the original weight vector")
+	}
+}
+
+func TestShardSliceValidation(t *testing.T) {
+	s := shardableState(8)
+	for _, bad := range []struct {
+		name                  string
+		shard, shards, lo, hi int
+	}{
+		{"shard out of range", 2, 2, 0, 4},
+		{"negative shard", -1, 2, 0, 4},
+		{"zero shards", 0, 0, 0, 4},
+		{"hi past dim", 0, 2, 0, 9},
+		{"inverted range", 0, 2, 4, 2},
+		{"negative lo", 0, 2, -1, 4},
+	} {
+		if _, err := s.SliceOf(bad.shard, bad.shards, bad.lo, bad.hi); err == nil {
+			t.Fatalf("%s accepted", bad.name)
+		}
+	}
+}
+
+func TestShardMergeRejectsTornSets(t *testing.T) {
+	s := shardableState(24)
+
+	missing := splitEven(t, s, 4)[:3]
+	if _, err := Merge(missing); err == nil {
+		t.Fatal("merge accepted an incomplete shard set")
+	}
+
+	dup := splitEven(t, s, 4)
+	dup[1] = dup[0]
+	if _, err := Merge(dup); err == nil {
+		t.Fatal("merge accepted a duplicated shard index")
+	}
+
+	gap := splitEven(t, s, 4)
+	gap[2].Lo++ // no longer contiguous with shard 1
+	if _, err := Merge(gap); err == nil {
+		t.Fatal("merge accepted a coordinate gap")
+	}
+
+	// A shard written by a later iteration (torn checkpoint).
+	torn := splitEven(t, s, 4)
+	late := shardableState(24)
+	late.Completed, late.Opt.T = 7, 7
+	tornParts := splitEven(t, late, 4)
+	torn[3] = tornParts[3]
+	if _, err := Merge(torn); err == nil {
+		t.Fatal("merge accepted shards from different iterations")
+	}
+
+	other := splitEven(t, s, 4)
+	foreign := shardableState(24)
+	foreign.Seed = 99
+	other[0] = splitEven(t, foreign, 4)[0]
+	if _, err := Merge(other); err == nil {
+		t.Fatal("merge accepted a shard from a different job")
+	}
+
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("merge accepted zero shards")
+	}
+}
+
+// TestShardSaveLoadRoundTrip: per-shard files round-trip through the same
+// atomic write protocol, and the loaded set merges back to the original.
+func TestShardSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := shardableState(16)
+	base := filepath.Join(dir, "ckpt.bin")
+	parts := splitEven(t, s, 4)
+	for _, sh := range parts {
+		if err := SaveShard(ShardPath(base, sh.Shard), sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded := make([]*Shard, len(parts))
+	for k := range parts {
+		sh, err := LoadShard(ShardPath(base, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.Shard != k || sh.Shards != 4 {
+			t.Fatalf("shard file %d identifies as %d of %d", k, sh.Shard, sh.Shards)
+		}
+		loaded[k] = sh
+	}
+	got, err := Merge(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, got, s)
+
+	if err := SaveShard(filepath.Join(dir, "nil"), nil); err == nil {
+		t.Fatal("nil shard accepted")
+	}
+	if _, err := LoadShard(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("missing shard file accepted")
+	}
+}

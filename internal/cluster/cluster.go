@@ -77,6 +77,18 @@ type Config struct {
 	// identical to the serial path on every runtime; schemes without a
 	// dimension-wise combination ignore the knob.
 	DecodeParallelism int
+	// MasterShards partitions the master's data plane coordinate-wise into
+	// this many contiguous shards (0/1 = the serial master). Each shard
+	// independently decodes, scales and optimizer-updates its own slice of
+	// the model on a dedicated goroutine, while iteration control — arrival
+	// counting, threshold decisions, fault bookkeeping, observer callbacks —
+	// stays on the coordinator. Shard boundaries are aligned to the comm
+	// plane's wire chunk size, and on the TCP runtime workers scatter each
+	// reply's slices directly to per-shard data-plane listeners. Results are
+	// bit-for-bit identical to the unsharded master on every runtime (see
+	// sharded.go); schemes or optimizers without slice capabilities fall
+	// back to the serial path silently.
+	MasterShards int
 	// Pipelined makes the master broadcast iteration k+1's query the moment
 	// iteration k decodes, with workers cancelling stale in-flight work as
 	// soon as the fresher query reaches them — instead of serializing
@@ -183,6 +195,9 @@ func (c *Config) validate() error {
 	}
 	if c.DecodeParallelism < 0 {
 		return fmt.Errorf("cluster: DecodeParallelism %d must be non-negative", c.DecodeParallelism)
+	}
+	if c.MasterShards < 0 {
+		return fmt.Errorf("cluster: MasterShards %d must be non-negative", c.MasterShards)
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("cluster: CheckpointEvery %d must be non-negative", c.CheckpointEvery)
@@ -311,10 +326,19 @@ type Result struct {
 	// from the payload codec, like IterStats.Bytes).
 	TotalBytes int
 	// TotalWireIn and TotalWireOut sum the per-iteration measured wire
-	// bytes (tcp runtime only; zero elsewhere). Handshake and shutdown
-	// frames fall outside the iteration loop and are not included.
+	// bytes (tcp runtime only; zero elsewhere), plus — with
+	// LiveOptions.Drain — the post-run drain residue: the engine drains the
+	// fabric before assembling the Result, so straggler reply frames still
+	// in flight at the final decode are read and counted rather than racing
+	// the shutdown, making the totals reproducible run to run. Handshake
+	// frames (read during accept) and shutdown frames fall outside both
+	// windows and are never included.
 	TotalWireIn  int
 	TotalWireOut int
+	// Shards holds the per-shard cumulative stats of a sharded master run
+	// (Config.MasterShards > 1 with slice-capable scheme and optimizer);
+	// nil otherwise.
+	Shards []ShardStats
 }
 
 // WallSummary returns descriptive statistics of the per-iteration wall

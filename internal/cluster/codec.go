@@ -115,7 +115,7 @@ func (c *wireCodec) WriteHello(h Hello) error {
 	if err != nil {
 		return err
 	}
-	return c.w.WriteHello(wire.Hello{Worker: h.Worker, Codec: codec, TopK: h.TopK, Chunk: h.Chunk})
+	return c.w.WriteHello(wire.Hello{Worker: h.Worker, Codec: codec, TopK: h.TopK, Chunk: h.Chunk, Shards: h.Shards})
 }
 
 func (c *wireCodec) ReadHello() (Hello, error) {
@@ -123,7 +123,7 @@ func (c *wireCodec) ReadHello() (Hello, error) {
 		return Hello{}, err
 	}
 	h, err := c.r.ReadHello()
-	return Hello{Worker: h.Worker, Payload: h.Codec.String(), TopK: h.TopK, Chunk: h.Chunk}, err
+	return Hello{Worker: h.Worker, Payload: h.Codec.String(), TopK: h.TopK, Chunk: h.Chunk, Shards: h.Shards}, err
 }
 
 func (c *wireCodec) WriteModel(m ModelUpdate) error {

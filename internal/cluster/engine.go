@@ -143,6 +143,16 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 	coding.SetDecodeParallelism(dec, cfg.DecodeParallelism)
 	grad := make([]float64, cfg.Model.Dim())
 	cp := cfg.comm()
+	// The sharded master data plane (sharded.go): coordinate-partitioned
+	// decode + update on dedicated shard goroutines, nil when unsharded or
+	// when the scheme/optimizer lacks the slice capabilities (serial
+	// fallback; results are identical either way).
+	var shards *masterShards
+	if cfg.MasterShards > 1 {
+		if shards = newMasterShards(cfg, dec, grad, tr); shards != nil {
+			defer shards.stop()
+		}
+	}
 	var qbuf []float64   // reusable quantized-query scratch (lossy codecs)
 	var lossRows []int   // AllRows scratch for LossEvery evaluations
 	var used [][]float64 // consumed payload buffers, recycled post-decode
@@ -159,10 +169,26 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 	}
 	// finish assembles the Result over the completed iterations — the full
 	// run, an early-stopped prefix, or the partial progress of a cancelled
-	// run — and is the single place OnRunEnd fires.
+	// run — and is the single place OnRunEnd fires. On draining transports
+	// it first waits for in-flight straggler frames so the measured wire
+	// totals are complete and reproducible: the egress total is snapshotted
+	// before the drain (the drain's own shutdown re-broadcast must not
+	// count), the ingress total after it (the straggler tail must).
 	finish := func() *Result {
+		var drainIn, drainOut int64
+		if wd, ok := tr.(wireDrainer); ok && wc != nil {
+			_, outBefore := wc.WireTotals()
+			wd.DrainWire()
+			inAfter, _ := wc.WireTotals()
+			drainIn, drainOut = inAfter-prevIn, outBefore-prevOut
+		}
 		res := summarize(vecmath.Clone(cfg.Opt.Iterate()), iters)
+		res.TotalWireIn += int(drainIn)
+		res.TotalWireOut += int(drainOut)
 		res.TotalElapsed = totalElapsed
+		if shards != nil {
+			res.Shards = shards.snapshot()
+		}
 		if cfg.Observer != nil {
 			cfg.Observer.OnRunEnd(res)
 		}
@@ -304,8 +330,14 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 			st.WireBytesOut = int(out - prevOut)
 			prevIn, prevOut = in, out
 		}
-		if err := finishIteration(cfg, dec, grad, &st); err != nil {
-			return nil, err
+		var finishErr error
+		if shards != nil {
+			finishErr = shards.finishIteration(&st)
+		} else {
+			finishErr = finishIteration(cfg, dec, grad, &st)
+		}
+		if finishErr != nil {
+			return nil, finishErr
 		}
 		for i, b := range used {
 			pool.Put(b)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"bcc/internal/coding"
@@ -47,6 +48,13 @@ type LiveOptions struct {
 	// Codec selects the TCP frame encoding: "gob" (default) or "wire" (the
 	// compact binary codec of internal/wire). Ignored without TCP.
 	Codec string
+	// Drain makes the run end only after the fabric has drained: every
+	// in-flight straggler reply frame is read off the sockets (and counted)
+	// before the Result is assembled, so Result.TotalWireIn/Out are
+	// reproducible run to run instead of racing the teardown. Costs waiting
+	// for the last straggler's bounded sleep; measurement harnesses
+	// (bccbench, the service) turn it on, interactive runs need not.
+	Drain bool
 }
 
 func (o *LiveOptions) defaults() {
@@ -140,6 +148,34 @@ func (t *liveTransport) WireTotals() (in, out int64) {
 		return wc.WireTotals()
 	}
 	return 0, 0
+}
+
+// ShardWireIn implements shardWireCounter by delegating to the fabric when
+// it has per-shard listeners (the scatter fabric); other fabrics have no
+// per-shard wire, so the sharded master falls back to modelled accounting.
+func (t *liveTransport) ShardWireIn() []int64 {
+	if swc, ok := t.fab.(shardWireCounter); ok {
+		return swc.ShardWireIn()
+	}
+	return nil
+}
+
+// wireDrainer is the optional transport capability the engine uses to settle
+// measured wire totals before assembling a Result: block until every
+// in-flight reply frame has been read off the sockets (bounded by the
+// fabric's drain timeout), so straggler bytes land in the totals instead of
+// racing the teardown.
+type wireDrainer interface {
+	DrainWire()
+}
+
+// DrainWire implements wireDrainer by draining the underlying fabric when
+// LiveOptions.Drain asked for settled totals; a no-op otherwise and on
+// fabrics without sockets (DrainFabric handles both).
+func (t *liveTransport) DrainWire() {
+	if t.opts.Drain {
+		DrainFabric(t.fab, t.opts.Timeout)
+	}
 }
 
 // expectedReplies counts the workers that will transmit for iteration iter:
@@ -283,15 +319,26 @@ type WorkerEnv struct {
 	// out-of-process TCP worker uses a private pool whose buffers are
 	// recycled by its send function right after serialization.
 	Bufs *BufferPool
+	// ShardAddrs, when the master is sharded with the scatter data plane,
+	// lists the per-shard listener addresses in shard order: the TCP worker
+	// dials every one in addition to the primary and writes each reply's
+	// coordinate slices to the owning shards (scatter.go). Empty = unsharded.
+	// Must agree with the master's Config.MasterShards (the handshake
+	// verifies the count).
+	ShardAddrs []string
 }
 
 // RunWorker executes the worker protocol until a shutdown update (Iter < 0)
-// or the updates channel closes: take the freshest pending model, sleep the
+// or the updates channel closes: take the next pending model, sleep the
 // drawn broadcast + compute latency, compute the real partial gradients,
 // encode, sleep the upload latency, reply. In pipelined mode the latency
 // sleeps are preemptible — a fresher update aborts the stale iteration
-// immediately; otherwise the worker serializes iterations (the barrier
-// behaviour) and merely skips stale queued models between them. An
+// immediately, and queued stale models are skipped. In barrier mode the
+// worker serializes iterations and replies to EVERY query in order, even
+// when it has fallen behind the master's broadcasts — the master discards
+// the stale replies, exactly as the simulator models every alive worker
+// computing every iteration, and the run's reply traffic stays identical
+// run to run (bccbench's comm sweep asserts this reproducibility). An
 // env.Faults plan is consulted before any iteration work: crashed
 // iterations are skipped entirely (no latency draws, no compute, no
 // transmission — exactly what the simulator models) and slowdown windows
@@ -325,17 +372,22 @@ func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error
 			}
 		}
 		havePending = false
-		// Skip to the most recent pending update (we lagged behind).
-	drain:
-		for {
-			select {
-			case next, ok := <-updates:
-				if !ok {
-					return nil
+		// Pipelined: skip to the most recent pending update — stale work
+		// would be preempted anyway. Barrier runs process every query in
+		// order and reply to each, exactly what the simulator models, so the
+		// reply stream (and its measured byte total) is identical run to run.
+		if env.Pipelined {
+		drain:
+			for {
+				select {
+				case next, ok := <-updates:
+					if !ok {
+						return nil
+					}
+					mu = next
+				default:
+					break drain
 				}
-				mu = next
-			default:
-				break drain
 			}
 		}
 		if mu.Iter < 0 {
@@ -424,7 +476,12 @@ func recycleMsgs(pool *BufferPool, msgs []coding.Message) {
 type chanFabric struct {
 	inboxes []chan ModelUpdate
 	replies chan Reply
-	alive   int
+	// done, closed by Close, unblocks workers still pushing backlog replies
+	// after the master stopped reading (barrier workers reply to every
+	// queued query, so a straggler can finish its backlog post-run).
+	done  chan struct{}
+	once  sync.Once
+	alive int
 }
 
 func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
@@ -434,6 +491,7 @@ func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 	f := &chanFabric{
 		inboxes: make([]chan ModelUpdate, n),
 		replies: make(chan Reply, n*4),
+		done:    make(chan struct{}),
 		alive:   n - len(dead),
 	}
 	for w := 0; w < n; w++ {
@@ -464,7 +522,14 @@ func newChanFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			coder := cfg.comm().newCoder()
 			send := func(r Reply) error {
 				applyReplyCodec(coder, r.Msgs)
-				f.replies <- r
+				select {
+				case f.replies <- r:
+				case <-f.done:
+					// Fabric closed: nobody will read this reply. Recycle its
+					// payloads like a dropped transmission; the worker exits
+					// on its closed inbox.
+					recycleMsgs(pool, r.Msgs)
+				}
 				return nil
 			}
 			_ = RunWorker(env, inbox, send)
@@ -487,10 +552,13 @@ func (f *chanFabric) Replies() <-chan Reply { return f.replies }
 func (f *chanFabric) AliveWorkers() int     { return f.alive }
 
 func (f *chanFabric) Close() error {
-	for _, inbox := range f.inboxes {
-		if inbox != nil {
-			close(inbox)
+	f.once.Do(func() {
+		close(f.done)
+		for _, inbox := range f.inboxes {
+			if inbox != nil {
+				close(inbox)
+			}
 		}
-	}
+	})
 	return nil
 }

@@ -54,6 +54,14 @@ func runScenario(t *testing.T, name string, pipelined bool, run func(cfg *Config
 // configuration — the codec axis of the conformance matrix.
 func runScenarioComm(t *testing.T, name string, pipelined bool, comm CommOptions, run func(cfg *Config) (*Result, error)) scenarioRun {
 	t.Helper()
+	return runScenarioCfg(t, name, pipelined, comm, nil, run)
+}
+
+// runScenarioCfg is the fully general scenario runner: mut, if non-nil, may
+// adjust the built Config before the run (the sharded-master conformance
+// suite sets MasterShards through it).
+func runScenarioCfg(t *testing.T, name string, pipelined bool, comm CommOptions, mut func(*Config), run func(cfg *Config) (*Result, error)) scenarioRun {
+	t.Helper()
 	plan, err := faults.Scenario(name, scenarioN, 9)
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +83,9 @@ func runScenarioComm(t *testing.T, name string, pipelined bool, comm CommOptions
 	// bit-exactness is pinned by the dedicated TestComputeParallelism*
 	// tests.
 	cfg.DecodeParallelism = 2
+	if mut != nil {
+		mut(cfg)
+	}
 	var events []string
 	cfg.Observer = ObserverFuncs{Fault: func(ev faults.Event) {
 		events = append(events, ev.String())

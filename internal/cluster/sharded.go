@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"bcc/internal/coding"
+	"bcc/internal/optimize"
+	"bcc/internal/vecmath"
+)
+
+// The sharded master data plane: the p-dimensional model is partitioned
+// coordinate-wise into Config.MasterShards contiguous slices, each owned by
+// one master shard that independently decodes its slice (via
+// coding.SliceDecoder), applies the optimizer update on its slice (via
+// optimize.SliceUpdater) and accounts its slice's bytes — while a thin
+// coordinator (the engine loop) keeps the O(n) control plane centralized:
+// arrival counting, threshold/MinResponders decisions, fault bookkeeping and
+// Observer callbacks.
+//
+// Slice-ownership rules:
+//
+//   - Shard boundaries are contiguous, fixed for the whole run, and aligned
+//     to the comm plane's wire chunk size (CommOptions.Chunk, default 512
+//     elements), so a shard's slice is always a whole number of wire chunks
+//     (except the last, which takes the remainder). Chunk alignment makes
+//     the same boundaries usable as scatter boundaries on the wire (see
+//     scatter.go).
+//   - A shard writes ONLY grad[lo:hi] and the optimizer state of
+//     coordinates [lo, hi); the coordinator owns everything else. Shards
+//     share the iteration's decoder read-only — DecodeSliceInto over
+//     disjoint ranges is safe by the SliceDecoder contract.
+//   - The gradient norm is a sequential reduction over the full vector, so
+//     the coordinator computes it serially after the shards join; the
+//     optimizer's scalar state advances once per iteration via FinishStep,
+//     also on the coordinator.
+//
+// Every per-element operation runs in the same order as the unsharded path
+// (slot-order slice folds, elementwise scale and update, serial norm), so a
+// sharded run is bit-for-bit identical to the unsharded engine for every
+// scheme, runtime and shard count. Schemes whose decoder does not implement
+// SliceDecoder, or optimizers without SliceUpdater, fall back to the serial
+// finishIteration — documented, never an error.
+
+// ShardStats are one master shard's cumulative counters over a run,
+// surfaced through ShardObserver after every iteration (and in
+// Result.Shards at the end) so shard imbalance is visible without a
+// profiler.
+type ShardStats struct {
+	// Shard is the shard index in [0, MasterShards).
+	Shard int `json:"shard"`
+	// Lo and Hi are the shard's coordinate range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Iters counts iterations this shard has decoded.
+	Iters int `json:"iters"`
+	// DecodeNs is cumulative wall time the shard spent decoding, scaling and
+	// updating its slice, in nanoseconds.
+	DecodeNs int64 `json:"decode_ns"`
+	// SliceBytesIn counts payload bytes attributed to this shard's slice: in
+	// distributed scatter mode the measured wire bytes of the shard's
+	// listener, otherwise the slice's width-proportional share of the
+	// modelled iteration bytes.
+	SliceBytesIn int64 `json:"slice_bytes_in"`
+	// QueueDepth is the shard's pending-work depth at the last snapshot
+	// (0 or 1 for in-process shards, which are dispatched synchronously).
+	QueueDepth int `json:"queue_depth"`
+}
+
+// ShardObserver is the optional Observer capability for sharded runs: after
+// each iteration the engine passes the cumulative per-shard stats. The slice
+// is owned by the engine and valid only during the callback — copy it to
+// retain. Only consulted when Config.MasterShards > 1.
+type ShardObserver interface {
+	OnShards(stats []ShardStats)
+}
+
+// ShardMap returns the master shard partition this Config's engine and
+// scatter plane derive: MasterShards+1 boundaries cutting [0, Model.Dim())
+// at wire-chunk multiples, shard s owning [map[s], map[s+1]). Callers that
+// persist or transport per-slice state (sharded checkpoints, external
+// shard processes) use this to stay aligned with the engine's ownership —
+// the map is a pure function of (Dim, MasterShards, chunk), so every
+// process derives the same one.
+func (c *Config) ShardMap() []int {
+	shards := c.MasterShards
+	if shards < 1 {
+		shards = 1
+	}
+	return shardBounds(c.Model.Dim(), shards, c.comm().pc.ChunkElems())
+}
+
+// shardBounds partitions [0, dim) into `shards` contiguous ranges aligned to
+// the wire chunk size: whole chunks are distributed as evenly as possible
+// (earlier shards take the extra chunk), and the final boundary is clamped
+// to dim. With more shards than chunks the tail shards own empty ranges —
+// harmless, they simply have no work. Returns shards+1 boundaries.
+func shardBounds(dim, shards, chunk int) []int {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nChunks := (dim + chunk - 1) / chunk
+	bounds := make([]int, shards+1)
+	base, extra := nChunks/shards, nChunks%shards
+	at := 0
+	for s := 0; s < shards; s++ {
+		bounds[s] = at * chunk
+		if bounds[s] > dim {
+			bounds[s] = dim
+		}
+		at += base
+		if s < extra {
+			at++
+		}
+	}
+	bounds[shards] = dim
+	return bounds
+}
+
+// shardWireCounter is the optional transport capability of scatter fabrics:
+// measured per-shard ingress bytes, indexed by shard.
+type shardWireCounter interface {
+	ShardWireIn() []int64
+}
+
+// masterShards runs Config.MasterShards persistent shard goroutines for one
+// engine run. The coordinator (engine loop) dispatches one iteration at a
+// time: every shard concurrently decodes, scales and updates its own slice,
+// then the coordinator joins them, computes the serial gradient norm and
+// advances the optimizer's scalar state. Dispatch is two channel operations
+// and a WaitGroup per iteration — no allocations in steady state, so the
+// zero-alloc invariant of the unsharded engine carries over.
+type masterShards struct {
+	dec    coding.SliceDecoder
+	opt    optimize.SliceUpdater
+	grad   []float64
+	bounds []int
+	scale  float64 // 1/NumExamples, the gradient normalization
+	dim    int
+
+	work []chan struct{}
+	done chan int // shard index, one per completed dispatch
+	quit chan struct{}
+	errs []error
+
+	stats []ShardStats
+	swc   shardWireCounter // non-nil in distributed scatter mode
+	// swcBase is the per-shard counter baseline at engine start: handshake
+	// bytes predate it, so SliceBytesIn counts payload traffic only, matching
+	// Result.TotalWireIn's exclusion of handshakes.
+	swcBase []int64
+	so      ShardObserver // non-nil when the observer wants shard stats
+}
+
+// newMasterShards builds the shard group for a run, or returns nil when the
+// decoder or optimizer lacks the slice capability — the engine then uses the
+// serial path (the documented fallback; results are identical either way).
+func newMasterShards(cfg *Config, dec coding.Decoder, grad []float64, tr Transport) *masterShards {
+	sd, ok := dec.(coding.SliceDecoder)
+	if !ok {
+		return nil
+	}
+	su, ok := cfg.Opt.(optimize.SliceUpdater)
+	if !ok {
+		return nil
+	}
+	dim := cfg.Model.Dim()
+	m := cfg.MasterShards
+	ms := &masterShards{
+		dec:    sd,
+		opt:    su,
+		grad:   grad,
+		bounds: shardBounds(dim, m, cfg.comm().pc.ChunkElems()),
+		scale:  1 / float64(cfg.Model.NumExamples()),
+		dim:    dim,
+		work:   make([]chan struct{}, m),
+		done:   make(chan int, m),
+		quit:   make(chan struct{}),
+		errs:   make([]error, m),
+		stats:  make([]ShardStats, m),
+	}
+	ms.swc, _ = tr.(shardWireCounter)
+	if ms.swc != nil {
+		ms.swcBase = ms.swc.ShardWireIn()
+	}
+	ms.so, _ = cfg.Observer.(ShardObserver)
+	for s := 0; s < m; s++ {
+		ms.work[s] = make(chan struct{}, 1)
+		ms.stats[s] = ShardStats{Shard: s, Lo: ms.bounds[s], Hi: ms.bounds[s+1]}
+		go ms.shardLoop(s)
+	}
+	return ms
+}
+
+// shardLoop is one shard's goroutine: wait for a dispatch, decode + scale +
+// update the owned slice, report done. It exits when stop closes quit.
+func (ms *masterShards) shardLoop(s int) {
+	lo, hi := ms.bounds[s], ms.bounds[s+1]
+	for {
+		select {
+		case <-ms.quit:
+			return
+		case <-ms.work[s]:
+		}
+		start := time.Now()
+		err := ms.dec.DecodeSliceInto(ms.grad, lo, hi)
+		if err == nil {
+			for i := lo; i < hi; i++ {
+				ms.grad[i] *= ms.scale
+			}
+			ms.opt.UpdateSlice(ms.grad, lo, hi)
+		}
+		ms.errs[s] = err
+		st := &ms.stats[s]
+		st.DecodeNs += time.Since(start).Nanoseconds()
+		st.Iters++
+		ms.done <- s
+	}
+}
+
+// finishIteration is the sharded counterpart of finishIteration: dispatch
+// every shard, join, then finish the scalar tail on the coordinator. The
+// decoded gradient, the optimizer state and the recorded stats are
+// bit-for-bit identical to the serial path.
+func (ms *masterShards) finishIteration(st *IterStats) error {
+	for _, ch := range ms.work {
+		ch <- struct{}{}
+	}
+	for range ms.work {
+		<-ms.done
+	}
+	for s, err := range ms.errs {
+		if err != nil {
+			return fmt.Errorf("cluster: master shard %d [%d,%d): %w", s, ms.bounds[s], ms.bounds[s+1], err)
+		}
+	}
+	ms.opt.FinishStep()
+	st.WorkersHeard = ms.dec.WorkersHeard()
+	st.Units = ms.dec.UnitsReceived()
+	st.GradNorm = vecmath.Norm2(ms.grad)
+	ms.account(st)
+	return nil
+}
+
+// account updates per-shard byte attribution and publishes the stats to the
+// observer: measured per-shard wire bytes when the transport scatters to
+// per-shard listeners, else each slice's width-proportional share of the
+// iteration's modelled payload bytes.
+func (ms *masterShards) account(st *IterStats) {
+	var measured []int64
+	if ms.swc != nil {
+		// A transport may expose the capability but have no per-shard wire
+		// (live transport over the channel fabric returns nil) — modelled
+		// accounting then.
+		measured = ms.swc.ShardWireIn()
+	}
+	if len(measured) > 0 {
+		for s := range ms.stats {
+			if s < len(measured) {
+				ms.stats[s].SliceBytesIn = measured[s]
+				if s < len(ms.swcBase) {
+					ms.stats[s].SliceBytesIn -= ms.swcBase[s]
+				}
+			}
+		}
+	} else if ms.dim > 0 {
+		for s := range ms.stats {
+			width := ms.bounds[s+1] - ms.bounds[s]
+			ms.stats[s].SliceBytesIn += int64(st.Bytes) * int64(width) / int64(ms.dim)
+		}
+	}
+	for s := range ms.stats {
+		ms.stats[s].QueueDepth = len(ms.work[s])
+	}
+	if ms.so != nil {
+		ms.so.OnShards(ms.stats)
+	}
+}
+
+// snapshot returns a copy of the cumulative shard stats (for Result.Shards).
+func (ms *masterShards) snapshot() []ShardStats {
+	out := make([]ShardStats, len(ms.stats))
+	copy(out, ms.stats)
+	return out
+}
+
+// stop terminates the shard goroutines. The engine defers it on every exit
+// path; it must only be called with no dispatch in flight (the engine is
+// single-threaded, so this holds by construction).
+func (ms *masterShards) stop() { close(ms.quit) }

@@ -26,6 +26,12 @@ type Hello struct {
 	Payload string
 	TopK    int
 	Chunk   int
+	// Shards is the master-shard count the worker was configured with (0 =
+	// unsharded). Under the scatter data plane (scatter.go) workers slice
+	// every reply across per-shard listeners, so a shard-map disagreement
+	// would land coordinates on the wrong shard; the handshake rejects it
+	// like a codec mismatch.
+	Shards int
 }
 
 type tcpFabric struct {
@@ -93,6 +99,29 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 		return nil, fmt.Errorf("cluster: tcp listen: %w", err)
 	}
 
+	// Sharded masters scatter the data plane: one extra listener per master
+	// shard receives the workers' reply slices (scatter.go).
+	shards := 0
+	var shardLns []net.Listener
+	var shardAddrs []string
+	if cfg.MasterShards > 1 {
+		shards = cfg.MasterShards
+		shardLns, err = listenShards(shards)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		shardAddrs = make([]string, shards)
+		for s, sl := range shardLns {
+			shardAddrs[s] = sl.Addr().String()
+		}
+	}
+	closeShards := func() {
+		for _, sl := range shardLns {
+			sl.Close()
+		}
+	}
+
 	// Spawn workers that dial the listener and speak the protocol.
 	addr := ln.Addr().String()
 	for w := 0; w < n; w++ {
@@ -111,13 +140,23 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 			Faults:             cfg.Faults,
 			ComputeParallelism: cfg.ComputeParallelism,
 			Pipelined:          cfg.Pipelined,
+			ShardAddrs:         shardAddrs,
 		}
 		go func() { _ = DialAndServeWorker(addr, env) }()
 	}
 
-	fab, err := acceptWorkers(ln, alive, opts.Timeout, opts.Codec, cfg.buffers(), cfg.Comm, cfg.Model.Dim())
+	primary, err := acceptWorkers(ln, alive, opts.Timeout, opts.Codec, cfg.buffers(), cfg.Comm, cfg.Model.Dim(), shards)
 	if err != nil {
+		closeShards()
 		ln.Close()
+		return nil, err
+	}
+	if shards == 0 {
+		return primary, nil
+	}
+	fab, err := newScatterFabric(primary, shardLns, n, alive, opts.Timeout, opts.Codec, cfg.buffers(), cfg.comm(), cfg.Model.Dim(), shards)
+	if err != nil {
+		primary.Close()
 		return nil, err
 	}
 	return fab, nil
@@ -127,8 +166,9 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 // assembles the fabric around them. pool, if non-nil, backs the codecs'
 // reply deserialization so gradient payloads land in recycled buffers. comm
 // and dim resolve the master's comm plane; each worker's hello must declare
-// the same payload codec, top-K and chunk size or the handshake fails.
-func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName string, pool *BufferPool, comm CommOptions, dim int) (*tcpFabric, error) {
+// the same payload codec, top-K and chunk size — and the same master-shard
+// count `shards` (0 = unsharded) — or the handshake fails.
+func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName string, pool *BufferPool, comm CommOptions, dim, shards int) (*tcpFabric, error) {
 	cp, err := comm.resolve(dim)
 	if err != nil {
 		return nil, err
@@ -168,6 +208,12 @@ func acceptWorkers(ln net.Listener, alive int, timeout time.Duration, codecName 
 			conn.Close()
 			f.Close()
 			return nil, fmt.Errorf("cluster: tcp handshake worker %d: %w", hello.Worker, err)
+		}
+		if hello.Shards != shards {
+			conn.Close()
+			f.Close()
+			return nil, fmt.Errorf("cluster: tcp handshake worker %d: shard count mismatch: worker %d, master %d",
+				hello.Worker, hello.Shards, shards)
 		}
 		f.conns = append(f.conns, conn)
 		f.codecs = append(f.codecs, codec)
@@ -293,7 +339,9 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 		// the worker's steady-state encode allocation-free too.
 		env.Bufs = NewBufferPool(env.Model.Dim(), 64)
 	}
-	if err := codec.WriteHello(cp.hello(env.Index)); err != nil {
+	h := cp.hello(env.Index)
+	h.Shards = len(env.ShardAddrs)
+	if err := codec.WriteHello(h); err != nil {
 		return fmt.Errorf("cluster: worker %d hello: %w", env.Index, err)
 	}
 	// A dedicated reader streams model updates into a channel so the worker
@@ -329,6 +377,18 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 		recycleMsgs(env.Bufs, r.Msgs)
 		return err
 	}
+	if len(env.ShardAddrs) > 0 {
+		// Sharded master: replies scatter as coordinate slices across the
+		// per-shard connections; the primary connection carries only the
+		// handshake and model broadcasts (scatter.go).
+		shardCodecs, closeShards, err := dialShards(env.ShardAddrs, env, cp, dim)
+		if err != nil {
+			return err
+		}
+		defer closeShards()
+		bounds := shardBounds(dim, len(env.ShardAddrs), cp.pc.ChunkElems())
+		send = scatterSend(shardCodecs, bounds, cp.newCoder(), env.Bufs)
+	}
 	return RunWorker(env, updates, send)
 }
 
@@ -341,7 +401,7 @@ func DialAndServeWorker(addr string, env WorkerEnv) error {
 // (the engine's pool still bounds master-side retention); the in-process TCP
 // runtime wires a shared pool instead.
 func ServeMaster(ln net.Listener, alive int, timeout time.Duration, codecName string, comm CommOptions, dim int) (Fabric, error) {
-	return acceptWorkers(ln, alive, timeout, codecName, nil, comm, dim)
+	return acceptWorkers(ln, alive, timeout, codecName, nil, comm, dim, 0)
 }
 
 // ServeMasterPool is ServeMaster with a caller-supplied payload-buffer
@@ -351,7 +411,7 @@ func ServeMaster(ln net.Listener, alive int, timeout time.Duration, codecName st
 // the allocation-free steady state of the in-process TCP runtime. Pass
 // Config.Buffers() of the run the fabric will drive.
 func ServeMasterPool(ln net.Listener, alive int, timeout time.Duration, codecName string, pool *BufferPool, comm CommOptions, dim int) (Fabric, error) {
-	return acceptWorkers(ln, alive, timeout, codecName, pool, comm, dim)
+	return acceptWorkers(ln, alive, timeout, codecName, pool, comm, dim, 0)
 }
 
 // Fabric is the exported face of the master-side substrate, for callers

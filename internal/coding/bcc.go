@@ -230,6 +230,20 @@ func (d *bccDecoder) DecodeInto(dst []float64) error {
 	return nil
 }
 
+// DecodeSliceInto implements SliceDecoder: elements [lo, hi) of the batch
+// sum only. Every batch slot is held once decodable, so the slot-order slice
+// fold reproduces DecodeInto bit-for-bit on any partition.
+func (d *bccDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	sumSparseSliceInto(dst, d.kept, lo, hi)
+	return nil
+}
+
 func (d *bccDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *bccDecoder) UnitsReceived() float64 { return d.units }
 

@@ -200,6 +200,20 @@ func (d *fractionalDecoder) DecodeInto(dst []float64) error {
 	return nil
 }
 
+// DecodeSliceInto implements SliceDecoder: elements [lo, hi) of the
+// block-order sum only. Every block slot is held once decodable, so the
+// slice fold reproduces DecodeInto bit-for-bit on any partition.
+func (d *fractionalDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	sumSparseSliceInto(dst, d.kept, lo, hi)
+	return nil
+}
+
 func (d *fractionalDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *fractionalDecoder) UnitsReceived() float64 { return d.units }
 

@@ -169,6 +169,20 @@ func (d *genBCCDecoder) DecodeInto(dst []float64) error {
 	return nil
 }
 
+// DecodeSliceInto implements SliceDecoder: elements [lo, hi) of the
+// example-order sum only. Every example slot is held once decodable, so the
+// slice fold reproduces DecodeInto bit-for-bit on any partition.
+func (d *genBCCDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	sumSparseSliceInto(dst, d.kept, lo, hi)
+	return nil
+}
+
 func (d *genBCCDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *genBCCDecoder) UnitsReceived() float64 { return d.units }
 
@@ -300,6 +314,19 @@ func (d *partitionedDecoder) DecodeInto(dst []float64) error {
 		return ErrNotDecodable
 	}
 	sumSparseInto(dst, d.got)
+	return nil
+}
+
+// DecodeSliceInto implements SliceDecoder: elements [lo, hi) of the
+// worker-order sum only; any partition reproduces DecodeInto bit-for-bit.
+func (d *partitionedDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	sumSparseSliceInto(dst, d.got, lo, hi)
 	return nil
 }
 

@@ -135,6 +135,20 @@ func (d *randomizedDecoder) DecodeInto(dst []float64) error {
 	return nil
 }
 
+// DecodeSliceInto implements SliceDecoder: elements [lo, hi) of the
+// example-order sum only. Every example slot is held once decodable, so the
+// slice fold reproduces DecodeInto bit-for-bit on any partition.
+func (d *randomizedDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	sumSparseSliceInto(dst, d.kept, lo, hi)
+	return nil
+}
+
 func (d *randomizedDecoder) WorkersHeard() int      { return d.heard.count }
 func (d *randomizedDecoder) UnitsReceived() float64 { return d.units }
 

@@ -395,6 +395,31 @@ func sumSparseInto(dst []float64, vs [][]float64) {
 	}
 }
 
+// sumSparseSliceInto folds elements [lo, hi) of the non-nil vectors of vs
+// into dst[lo:hi] in slot order — the slice form of sumSparseInto. Each
+// element folds its terms in the same order as the full fold, so any
+// partition of [0, len(dst)) reproduces sumSparseInto bit-for-bit. It panics
+// if every slot is nil.
+func sumSparseSliceInto(dst []float64, vs [][]float64, lo, hi int) {
+	first := true
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		if first {
+			copy(dst[lo:hi], v[lo:hi])
+			first = false
+			continue
+		}
+		for t := lo; t < hi; t++ {
+			dst[t] += v[t]
+		}
+	}
+	if first {
+		panic("coding: decode with no kept vectors")
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Decode parallelism
 // ---------------------------------------------------------------------------

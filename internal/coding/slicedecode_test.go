@@ -8,19 +8,56 @@ import (
 	"bcc/internal/vecmath"
 )
 
+// slicePlanFor builds a plan for the scheme at the test topology. The
+// registry covers most schemes; genbcc and partitioned are load-specific and
+// unregistered, so they are constructed explicitly with uneven (genbcc) and
+// unit (partitioned: loads must sum to exactly m) load vectors.
+func slicePlanFor(t *testing.T, scheme string, m, n, r int) Plan {
+	t.Helper()
+	var (
+		plan Plan
+		err  error
+	)
+	switch scheme {
+	case "genbcc":
+		loads := make([]int, n)
+		maxLoad := 0
+		for i := range loads {
+			loads[i] = 1 + i%3
+			if loads[i] > maxLoad {
+				maxLoad = loads[i]
+			}
+		}
+		plan, err = GeneralizedBCC{Loads: loads}.Plan(m, n, maxLoad, rngutil.New(3))
+	case "partitioned":
+		loads := make([]int, n)
+		for i := range loads {
+			loads[i] = m / n
+		}
+		for i := 0; i < m%n; i++ {
+			loads[i]++
+		}
+		plan, err = Partitioned{Loads: loads}.Plan(m, n, (m+n-1)/n, rngutil.New(3))
+	default:
+		var s Scheme
+		s, err = Lookup(scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err = s.Plan(m, n, r, rngutil.New(3))
+	}
+	if err != nil {
+		t.Skipf("%s rejects m=%d n=%d r=%d: %v", scheme, m, n, r, err)
+	}
+	return plan
+}
+
 // sliceDecoderFor builds a decodable SliceDecoder for the scheme plus the
 // serial full-decode reference, skipping schemes that reject the topology.
 func sliceDecoderFor(t *testing.T, scheme string, dim int) (SliceDecoder, []float64) {
 	t.Helper()
 	const m, n, r = 24, 24, 6
-	s, err := Lookup(scheme)
-	if err != nil {
-		t.Fatal(err)
-	}
-	plan, err := s.Plan(m, n, r, rngutil.New(3))
-	if err != nil {
-		t.Skipf("%s rejects m=%d n=%d r=%d: %v", scheme, m, n, r, err)
-	}
+	plan := slicePlanFor(t, scheme, m, n, r)
 	msgs := encodeAll(t, plan, dim, 4)
 	dec := plan.NewDecoder()
 	for _, w := range rngutil.New(5).Perm(n) {
@@ -46,14 +83,16 @@ func sliceDecoderFor(t *testing.T, scheme string, dim int) (SliceDecoder, []floa
 }
 
 // TestDecodeSliceIntoPartitions is the streaming-decode contract test: for
-// every SliceDecoder scheme, assembling the output from an ARBITRARY
-// partition of [0, p) — uniform chunks of every size, including wire-chunk
-// shapes that straddle the dimension, plus random uneven cuts — reproduces
-// the serial DecodeInto bit-for-bit, and slices outside the partition are
-// left untouched.
+// every SliceDecoder scheme — all registered schemes plus the unregistered
+// load-specific ones — assembling the output from an ARBITRARY partition of
+// [0, p) — uniform chunks of every size, including wire-chunk shapes that
+// straddle the dimension, plus random uneven cuts — reproduces the serial
+// DecodeInto bit-for-bit, and slices outside the partition are left
+// untouched.
 func TestDecodeSliceIntoPartitions(t *testing.T) {
 	const dim = 257 // prime: no chunk size divides it evenly
-	for _, scheme := range []string{"cyclicrep", "cyclicmds", "bccmulti", "bccapprox"} {
+	schemes := append(Names(), "genbcc", "partitioned")
+	for _, scheme := range schemes {
 		t.Run(scheme, func(t *testing.T) {
 			sd, ref := sliceDecoderFor(t, scheme, dim)
 

@@ -116,6 +116,19 @@ func (d *uncodedDecoder) DecodeInto(dst []float64) error {
 	return nil
 }
 
+// DecodeSliceInto implements SliceDecoder: elements [lo, hi) of the
+// worker-order sum only; any partition reproduces DecodeInto bit-for-bit.
+func (d *uncodedDecoder) DecodeSliceInto(dst []float64, lo, hi int) error {
+	if !d.Decodable() {
+		return ErrNotDecodable
+	}
+	if err := checkDecodeSlice(dst, lo, hi); err != nil {
+		return err
+	}
+	sumSparseSliceInto(dst, d.got, lo, hi)
+	return nil
+}
+
 func (d *uncodedDecoder) WorkersHeard() int      { return d.heard }
 func (d *uncodedDecoder) UnitsReceived() float64 { return d.units }
 

@@ -293,6 +293,15 @@ type Spec struct {
 	// (0/1 = serial); element-wise sharding keeps decoded gradients
 	// bit-for-bit identical to the serial path on every runtime.
 	DecodeParallelism int
+	// MasterShards partitions the master's data plane coordinate-wise into
+	// this many contiguous shards (0/1 = unsharded): each shard decodes,
+	// scales and updates its own slice of the model concurrently while a thin
+	// coordinator keeps iteration control centralized. On the TCP runtime the
+	// shards additionally get their own listeners and workers scatter each
+	// reply's coordinate slices to them (the scatter data plane). Results are
+	// bit-for-bit identical to the unsharded run on every runtime; see
+	// cluster.Config.MasterShards.
+	MasterShards int
 	// Runtime is RuntimeSim (default), RuntimeLive (goroutines+channels)
 	// or RuntimeTCP (goroutines over loopback sockets). All three run the
 	// same master engine over different transports.
@@ -408,6 +417,9 @@ func (s *Spec) validateOptions() error {
 	}
 	if s.DecodeParallelism < 0 {
 		return &OptionError{Option: "DecodeParallelism", Value: fmt.Sprintf("%d", s.DecodeParallelism), Reason: "must be non-negative"}
+	}
+	if s.MasterShards < 0 {
+		return &OptionError{Option: "MasterShards", Value: fmt.Sprintf("%d", s.MasterShards), Reason: "must be non-negative"}
 	}
 	if s.Density < 0 || s.Density > 1 {
 		return &OptionError{Option: "Density", Value: fmt.Sprintf("%v", s.Density), Reason: "outside [0, 1]"}
@@ -545,7 +557,9 @@ func (j *Job) clusterConfig() *cluster.Config {
 	var ckpt func(completed int) error
 	if j.Spec.CheckpointEvery > 0 && j.Spec.CheckpointPath != "" {
 		path := j.Spec.CheckpointPath
-		ckpt = func(completed int) error { return j.Checkpoint(path, j.Resumed+completed) }
+		// Shard-aware: with MasterShards > 1 the periodic checkpoint
+		// follows the engine's partition, one file per shard.
+		ckpt = func(completed int) error { return j.CheckpointSharded(path, j.Resumed+completed) }
 	}
 	return &cluster.Config{
 		Plan:               j.Plan,
@@ -561,6 +575,7 @@ func (j *Job) clusterConfig() *cluster.Config {
 		Faults:             j.Faults,
 		ComputeParallelism: j.Spec.ComputeParallelism,
 		DecodeParallelism:  j.Spec.DecodeParallelism,
+		MasterShards:       j.Spec.MasterShards,
 		Comm:               j.Spec.comm(),
 		LossEvery:          j.Spec.LossEvery,
 		Trace:              j.Spec.Trace,
@@ -596,11 +611,47 @@ func (j *Job) Accuracy(w []float64) float64 { return j.Model.Accuracy(w) }
 // Checkpoint writes the job's current optimizer state to path (atomically).
 // completed is the number of iterations already run against this job.
 func (j *Job) Checkpoint(path string, completed int) error {
+	st, err := j.snapshotState(completed)
+	if err != nil {
+		return err
+	}
+	return checkpoint.Save(path, st)
+}
+
+// CheckpointSharded writes the job's optimizer state as one self-describing
+// file per master shard — path.shard0 … path.shard{M-1}, M =
+// Spec.MasterShards — following the engine's coordinate partition
+// (Config.ShardMap), so each shard persists exactly the slice it owns.
+// Scalar optimizer state is replicated into every file; a job with
+// MasterShards < 2 falls back to the single-file Checkpoint.
+func (j *Job) CheckpointSharded(path string, completed int) error {
+	shards := j.Spec.MasterShards
+	if shards < 2 {
+		return j.Checkpoint(path, completed)
+	}
+	st, err := j.snapshotState(completed)
+	if err != nil {
+		return err
+	}
+	bounds := j.clusterConfig().ShardMap()
+	for s := 0; s < shards; s++ {
+		sh, err := st.SliceOf(s, shards, bounds[s], bounds[s+1])
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.SaveShard(checkpoint.ShardPath(path, s), sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *Job) snapshotState(completed int) (*checkpoint.State, error) {
 	snap, ok := j.Opt.(optimize.Snapshotter)
 	if !ok {
-		return fmt.Errorf("core: optimizer %q does not support checkpointing", j.Spec.Optimizer)
+		return nil, fmt.Errorf("core: optimizer %q does not support checkpointing", j.Spec.Optimizer)
 	}
-	return checkpoint.Save(path, &checkpoint.State{
+	return &checkpoint.State{
 		Scheme:    string(j.Spec.Scheme),
 		M:         j.Spec.Examples,
 		N:         j.Spec.Workers,
@@ -609,7 +660,7 @@ func (j *Job) Checkpoint(path string, completed int) error {
 		Seed:      j.Spec.Seed,
 		Completed: completed,
 		Opt:       snap.Snapshot(),
-	})
+	}, nil
 }
 
 // RestoreCheckpoint loads path into the job after validating that the
@@ -622,6 +673,34 @@ func (j *Job) RestoreCheckpoint(path string) (completed int, err error) {
 	if err != nil {
 		return 0, err
 	}
+	return j.restoreState(st)
+}
+
+// RestoreShardedCheckpoint loads the per-shard files written by
+// CheckpointSharded (path.shard0 … path.shard{M-1}) and merges them into
+// the full optimizer state. The merge rejects torn sets — a missing or
+// duplicated shard, coordinate gaps, or shards saved at different
+// iterations or by different jobs — before the usual topology validation.
+// A job with MasterShards < 2 falls back to the single-file restore.
+func (j *Job) RestoreShardedCheckpoint(path string) (completed int, err error) {
+	shards := j.Spec.MasterShards
+	if shards < 2 {
+		return j.RestoreCheckpoint(path)
+	}
+	parts := make([]*checkpoint.Shard, shards)
+	for s := range parts {
+		if parts[s], err = checkpoint.LoadShard(checkpoint.ShardPath(path, s)); err != nil {
+			return 0, err
+		}
+	}
+	st, err := checkpoint.Merge(parts)
+	if err != nil {
+		return 0, err
+	}
+	return j.restoreState(st)
+}
+
+func (j *Job) restoreState(st *checkpoint.State) (completed int, err error) {
 	if err := st.Matches(string(j.Spec.Scheme), j.Spec.Examples, j.Spec.Workers, j.Spec.Load, j.Spec.Dim, j.Spec.Seed); err != nil {
 		return 0, err
 	}

@@ -81,6 +81,7 @@ type remoteSpec struct {
 	FaultSeed          uint64       `json:"fault_seed,omitempty"`
 	ComputeParallelism int          `json:"compute_parallelism,omitempty"`
 	DecodeParallelism  int          `json:"decode_parallelism,omitempty"`
+	MasterShards       int          `json:"master_shards,omitempty"`
 	Runtime            Runtime      `json:"runtime,omitempty"`
 	Payload            Payload      `json:"payload,omitempty"`
 	TopK               int          `json:"top_k,omitempty"`
@@ -139,6 +140,7 @@ func EncodeSpec(s Spec) ([]byte, error) {
 		FaultSeed:          norm.FaultSeed,
 		ComputeParallelism: norm.ComputeParallelism,
 		DecodeParallelism:  norm.DecodeParallelism,
+		MasterShards:       norm.MasterShards,
 		Runtime:            norm.Runtime,
 		Payload:            norm.Payload,
 		TopK:               norm.TopK,
@@ -185,6 +187,7 @@ func DecodeSpec(data []byte) (Spec, error) {
 		FaultSeed:          rs.FaultSeed,
 		ComputeParallelism: rs.ComputeParallelism,
 		DecodeParallelism:  rs.DecodeParallelism,
+		MasterShards:       rs.MasterShards,
 		Runtime:            rs.Runtime,
 		Payload:            rs.Payload,
 		TopK:               rs.TopK,

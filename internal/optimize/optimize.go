@@ -32,6 +32,25 @@ type Optimizer interface {
 	Step() int
 }
 
+// SliceUpdater is the optional Optimizer capability behind the sharded
+// master: Update split into its elementwise half, restricted to an arbitrary
+// coordinate range, and a scalar half advancing the iteration state once.
+// Applying UpdateSlice over any partition of [0, p) followed by one
+// FinishStep reproduces Update(grad) bit-for-bit: UpdateSlice reads the
+// scalar state (step count, momentum sequence) without mutating it, so
+// disjoint slices may be applied concurrently from different goroutines.
+type SliceUpdater interface {
+	Optimizer
+	// UpdateSlice applies the update rule to coordinates [lo, hi) of the
+	// iterate using grad[lo:hi]. The gradient must have been evaluated at the
+	// last Query point; scalar state is read, never written.
+	UpdateSlice(grad []float64, lo, hi int)
+	// FinishStep advances the scalar state after every coordinate of the
+	// current gradient has been applied via UpdateSlice. Exactly one
+	// FinishStep must follow each complete partition.
+	FinishStep()
+}
+
 // StepSize is a learning-rate schedule: it returns the step for iteration t
 // (0-based).
 type StepSize func(t int) float64
@@ -71,11 +90,24 @@ func NewGD(w0 []float64, step StepSize) *GD {
 // Query implements Optimizer; GD evaluates gradients at the iterate itself.
 func (g *GD) Query() []float64 { return g.w }
 
-// Update implements Optimizer.
+// Update implements Optimizer. It is UpdateSlice over the full range plus
+// FinishStep, so the sharded and unsharded paths share one definition.
 func (g *GD) Update(grad []float64) {
-	vecmath.Axpy(-g.step(g.t), grad, g.w)
-	g.t++
+	g.UpdateSlice(grad, 0, len(grad))
+	g.FinishStep()
 }
+
+// UpdateSlice implements SliceUpdater: w[i] += -mu_t grad[i] for i in
+// [lo, hi), the elementwise body of vecmath.Axpy restricted to the slice.
+func (g *GD) UpdateSlice(grad []float64, lo, hi int) {
+	alpha := -g.step(g.t)
+	for i := lo; i < hi; i++ {
+		g.w[i] += alpha * grad[i]
+	}
+}
+
+// FinishStep implements SliceUpdater.
+func (g *GD) FinishStep() { g.t++ }
 
 // Iterate implements Optimizer.
 func (g *GD) Iterate() []float64 { return g.w }
@@ -125,17 +157,31 @@ func (n *Nesterov) Query() []float64 {
 }
 
 // Update implements Optimizer. The gradient must have been evaluated at the
-// point returned by the immediately preceding Query call.
+// point returned by the immediately preceding Query call. It is UpdateSlice
+// over the full range plus FinishStep, so the sharded and unsharded paths
+// share one definition.
 func (n *Nesterov) Update(grad []float64) {
+	n.UpdateSlice(grad, 0, len(grad))
+	n.FinishStep()
+}
+
+// UpdateSlice implements SliceUpdater: the momentum step on coordinates
+// [lo, hi). beta and mu are pure functions of the scalar state, recomputed
+// identically in every slice, so any partition reproduces Update bit-for-bit.
+func (n *Nesterov) UpdateSlice(grad []float64, lo, hi int) {
 	thetaNext := (1 + math.Sqrt(1+4*n.theta*n.theta)) / 2
 	beta := (n.theta - 1) / thetaNext
 	mu := n.step(n.t)
-	for i := range n.w {
+	for i := lo; i < hi; i++ {
 		y := n.w[i] + beta*(n.w[i]-n.wPrev[i])
 		n.wPrev[i] = n.w[i]
 		n.w[i] = y - mu*grad[i]
 	}
-	n.theta = thetaNext
+}
+
+// FinishStep implements SliceUpdater.
+func (n *Nesterov) FinishStep() {
+	n.theta = (1 + math.Sqrt(1+4*n.theta*n.theta)) / 2
 	n.t++
 }
 

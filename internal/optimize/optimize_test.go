@@ -207,3 +207,54 @@ func TestRunReturnsCopy(t *testing.T) {
 		t.Fatal("Run must return a copy of the iterate")
 	}
 }
+
+// TestUpdateSliceMatchesUpdate is the sharded-master contract test: applying
+// UpdateSlice over an arbitrary partition of [0, p) — in shuffled order —
+// followed by one FinishStep reproduces Update bit-for-bit over many
+// iterations, for both optimizers.
+func TestUpdateSliceMatchesUpdate(t *testing.T) {
+	const dim, iters = 103, 25
+	build := map[string]func() SliceUpdater{
+		"gd":       func() SliceUpdater { return NewGD(make([]float64, dim), InverseTime(0.5, 10)) },
+		"nesterov": func() SliceUpdater { return NewNesterov(make([]float64, dim), InverseTime(0.5, 10)) },
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			ref, sliced := mk(), mk()
+			rng := rngutil.New(17)
+			grad := make([]float64, dim)
+			for it := 0; it < iters; it++ {
+				// Both must be queried: Nesterov's query rebuilds y, and the
+				// gradient must be a function of the (identical) query point.
+				q := ref.Query()
+				sliced.Query()
+				for i := range grad {
+					grad[i] = math.Sin(float64(i+1)*0.3) * (q[i] + 1/float64(it+1))
+				}
+				ref.Update(grad)
+
+				// Random uneven partition applied in shuffled order.
+				var bounds []int
+				for lo := 0; lo < dim; {
+					hi := lo + 1 + rng.Intn(40)
+					if hi > dim {
+						hi = dim
+					}
+					bounds = append(bounds, lo, hi)
+					lo = hi
+				}
+				for _, s := range rng.Perm(len(bounds) / 2) {
+					sliced.UpdateSlice(grad, bounds[2*s], bounds[2*s+1])
+				}
+				sliced.FinishStep()
+
+				if d := vecmath.MaxAbsDiff(ref.Iterate(), sliced.Iterate()); d != 0 {
+					t.Fatalf("iter %d: sliced iterate diverged by %v", it, d)
+				}
+				if ref.Step() != sliced.Step() {
+					t.Fatalf("iter %d: step %d vs %d", it, ref.Step(), sliced.Step())
+				}
+			}
+		})
+	}
+}

@@ -73,16 +73,32 @@ func writeJSON(w http.ResponseWriter, v any) {
 // metrics renders the Prometheus text exposition format (stdlib only; the
 // format is plain text with one sample per line).
 func (d *Daemon) metrics(w http.ResponseWriter, r *http.Request) {
+	type shardSample struct {
+		job     core.JobID
+		shard   int
+		decode  int64
+		bytesIn int64
+		queue   int
+	}
 	d.mu.Lock()
 	states := map[core.JobState]int{}
 	iters := 0
 	var queueSecs, runSecs float64
+	var shardSamples []shardSample
 	for _, rec := range d.jobs {
 		st := d.statusLocked(rec)
 		states[rec.state]++
 		iters += rec.iter
 		queueSecs += st.QueueSeconds
 		runSecs += st.RunSeconds
+		// Per-shard gauges for jobs that have not been collected yet: running
+		// jobs expose live values, finished ones their final counters.
+		for _, ss := range rec.shards {
+			shardSamples = append(shardSamples, shardSample{
+				job: rec.id, shard: ss.Shard, decode: ss.DecodeNs,
+				bytesIn: ss.SliceBytesIn, queue: ss.QueueDepth,
+			})
+		}
 	}
 	depth := len(d.queue)
 	idle := len(d.idle)
@@ -108,6 +124,20 @@ func (d *Daemon) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "bcc_job_queue_seconds_total %g\n", queueSecs)
 	b.WriteString("# HELP bcc_job_run_seconds_total Seconds jobs spent running.\n# TYPE bcc_job_run_seconds_total counter\n")
 	fmt.Fprintf(&b, "bcc_job_run_seconds_total %g\n", runSecs)
+	if len(shardSamples) > 0 {
+		b.WriteString("# HELP bcc_shard_decode_ns_total Cumulative slice decode+update nanoseconds per master shard.\n# TYPE bcc_shard_decode_ns_total counter\n")
+		for _, s := range shardSamples {
+			fmt.Fprintf(&b, "bcc_shard_decode_ns_total{job=\"%d\",shard=\"%d\"} %d\n", s.job, s.shard, s.decode)
+		}
+		b.WriteString("# HELP bcc_shard_bytes_in_total Payload bytes attributed to each master shard's slice (measured in scatter mode, modelled otherwise).\n# TYPE bcc_shard_bytes_in_total counter\n")
+		for _, s := range shardSamples {
+			fmt.Fprintf(&b, "bcc_shard_bytes_in_total{job=\"%d\",shard=\"%d\"} %d\n", s.job, s.shard, s.bytesIn)
+		}
+		b.WriteString("# HELP bcc_shard_queue_depth Pending-work depth per master shard at the last iteration.\n# TYPE bcc_shard_queue_depth gauge\n")
+		for _, s := range shardSamples {
+			fmt.Fprintf(&b, "bcc_shard_queue_depth{job=\"%d\",shard=\"%d\"} %d\n", s.job, s.shard, s.queue)
+		}
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

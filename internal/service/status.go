@@ -39,6 +39,7 @@ type jobRecord struct {
 	wireOut      int64
 	workersHeard int
 	faults       int
+	shards       []cluster.ShardStats // sharded-master jobs only; cumulative
 }
 
 // JobStatus is the externally visible snapshot of a job, shared by the Go
@@ -72,6 +73,10 @@ type JobStatus struct {
 	WireOut      int64   `json:"wire_out,omitempty"`
 	WorkersHeard int     `json:"workers_heard,omitempty"`
 	Faults       int     `json:"faults,omitempty"`
+	// Shards holds the per-shard counters of a sharded-master job (cumulative
+	// decode time, measured or modelled slice bytes, queue depth), absent for
+	// unsharded jobs.
+	Shards []cluster.ShardStats `json:"shards,omitempty"`
 }
 
 // WorkerStatus describes one fleet worker.
@@ -108,6 +113,9 @@ func (d *Daemon) statusLocked(rec *jobRecord) JobStatus {
 		WireOut:      rec.wireOut,
 		WorkersHeard: rec.workersHeard,
 		Faults:       rec.faults,
+	}
+	if len(rec.shards) > 0 {
+		st.Shards = append([]cluster.ShardStats(nil), rec.shards...)
 	}
 	if !math.IsNaN(rec.loss) {
 		st.Loss = rec.loss
@@ -152,6 +160,12 @@ func (d *Daemon) observe(rec *jobRecord) cluster.Observer {
 		Fault: func(faults.Event) {
 			d.mu.Lock()
 			rec.faults++
+			d.mu.Unlock()
+		},
+		Shards: func(stats []cluster.ShardStats) {
+			// The engine owns the slice and only lends it for the callback.
+			d.mu.Lock()
+			rec.shards = append(rec.shards[:0], stats...)
 			d.mu.Unlock()
 		},
 	}

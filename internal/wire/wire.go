@@ -8,7 +8,7 @@
 // Frame layout (all integers little-endian):
 //
 //	frame := kind:uint8 body
-//	hello := worker:uint32 codec:uint8 topk:uint32 chunk:uint32
+//	hello := worker:uint32 codec:uint8 topk:uint32 chunk:uint32 shards:uint32
 //	model := iter:int64 vec(query)
 //	reply := iter:int64 worker:uint32 compute:float64 nmsgs:uint32 msg*
 //	msg   := from:uint32 tag:int64 units:float64 vec(vec) vec(imag)
@@ -67,6 +67,12 @@ type Hello struct {
 	Codec  PayloadCodec
 	TopK   int
 	Chunk  int
+	// Shards is the master-shard count of the run the sender was configured
+	// for (0 = unsharded): under the sharded master's scatter data plane
+	// workers ship each reply's coordinate slices to per-shard listeners, so
+	// both ends must agree on the shard map or slices would land on the
+	// wrong shard. Verified at handshake time like the codec parameters.
+	Shards int
 }
 
 // Model is a model-broadcast frame body; Iter < 0 signals shutdown.
@@ -270,6 +276,9 @@ func (w *Writer) WriteHello(h Hello) error {
 		return err
 	}
 	if err := w.u32(uint32(h.Chunk)); err != nil {
+		return err
+	}
+	if err := w.u32(uint32(h.Shards)); err != nil {
 		return err
 	}
 	return w.bw.Flush()
@@ -576,7 +585,11 @@ func (r *Reader) ReadHello() (Hello, error) {
 	if err != nil {
 		return Hello{}, err
 	}
-	return Hello{Worker: int(w), Codec: PayloadCodec(codec), TopK: int(topk), Chunk: int(chunk)}, nil
+	shards, err := r.u32()
+	if err != nil {
+		return Hello{}, err
+	}
+	return Hello{Worker: int(w), Codec: PayloadCodec(codec), TopK: int(topk), Chunk: int(chunk), Shards: int(shards)}, nil
 }
 
 // ReadModel decodes a model body (after NextKind returned KindModel).
