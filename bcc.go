@@ -157,6 +157,7 @@ const (
 	SchemeCyclicMDS  = core.SchemeCyclicMDS
 	SchemeCyclicRep  = core.SchemeCyclicRep
 	SchemeFractional = core.SchemeFractional
+	SchemeNested     = core.SchemeNested
 	SchemeRandomized = core.SchemeRandomized
 	SchemeUncoded    = core.SchemeUncoded
 )
@@ -279,8 +280,8 @@ type Decoder = coding.Decoder
 type Message = coding.Message
 
 // Schemes returns the names of all registered gradient-coding schemes:
-// bcc, bccapprox, bccmulti, cyclicmds, cyclicrep, fractional, randomized,
-// uncoded.
+// bcc, bccapprox, bccmulti, cyclicmds, cyclicrep, fractional, nested,
+// randomized, uncoded.
 func Schemes() []string { return coding.Names() }
 
 // LookupScheme resolves a scheme builder by name.
@@ -294,6 +295,34 @@ func LookupScheme(name string) (SchemeBuilder, error) { return coding.Lookup(nam
 
 // BCCScheme is the paper's scheme with optional skewed batch selection.
 type BCCScheme = coding.BCC
+
+// NestedScheme builds the adaptive family: cyclic-repetition gradient codes
+// at every redundancy level 1..r over ONE shared data placement, switchable
+// mid-run through the RetunablePlan capability (SchemeNested in a Spec).
+type NestedScheme = coding.Nested
+
+// RetunablePlan is the capability a multi-level plan exposes for mid-run
+// redundancy switching: level bounds, the active level, SetLevel, and
+// AtLevel views. NestedScheme plans implement it; Spec.AdaptRedundancy
+// drives it automatically via the built-in controller.
+type RetunablePlan = coding.Retunable
+
+// Controller decides each iteration's redundancy level on a retunable plan
+// from per-iteration telemetry; set one on cluster.Config.Controller when
+// driving the engine directly, or use Spec.AdaptRedundancy for the built-in
+// AIMD controller.
+type Controller = cluster.Controller
+
+// ControllerTelemetry is the per-iteration snapshot a Controller decides
+// from: fleet health (down/lost/slow counts from the deterministic fault
+// plan) plus the plan's level bounds and active level.
+type ControllerTelemetry = cluster.Telemetry
+
+// AIMDController is the built-in straggler-tracking controller: it jumps
+// the redundancy level up immediately when the straggler tail grows and
+// steps it down one level after Window consecutive over-provisioned
+// iterations.
+type AIMDController = cluster.AIMDController
 
 // BCCApproxScheme stops at a fraction Phi of batch coverage and rescales —
 // approximate gradients at a fraction of the threshold.

@@ -28,7 +28,7 @@ func TestTrainQuickstart(t *testing.T) {
 
 func TestSchemesExported(t *testing.T) {
 	names := Schemes()
-	if len(names) != 8 {
+	if len(names) != 9 {
 		t.Fatalf("schemes: %v", names)
 	}
 	for _, n := range names {

@@ -15,10 +15,12 @@
 // across payload sizes and DecodeParallelism), the comm plane (payload
 // codec × dimension × workers over tcp loopback with measured wire bytes),
 // the service plane (jobs × workers throughput through the multi-tenant
-// daemon, queue-vs-run time split), and the sharded master (coordinate-
+// daemon, queue-vs-run time split), the sharded master (coordinate-
 // partitioned decode plus end-to-end scatter-plane runs at M ∈ {1, 2, 4}),
-// writing a JSON report (-sweep-out, default BENCH_PR8.json); -sweep-quick
-// shrinks it to CI-smoke sizes.
+// and the adaptive-redundancy race (nested-adaptive vs every fixed level
+// and the fixed bcc/cyclicmds codes under straggler scenarios, with
+// per-run encoded-part counts), writing a JSON report (-sweep-out, default
+// BENCH_PR9.json); -sweep-quick shrinks it to CI-smoke sizes.
 package main
 
 import (
@@ -45,8 +47,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "deadline for the whole suite (0 = none); Ctrl-C also aborts cleanly")
 		csvDir     = flag.String("csv", "", "directory to also write <id>.csv files into")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
-		sweep      = flag.Bool("sweep", false, "run the performance sweep (gradients × density, decode × parallelism, codec × dim × workers over tcp, service jobs × workers, sharded master) instead of paper artifacts")
-		sweepOut   = flag.String("sweep-out", "BENCH_PR8.json", "where -sweep writes its JSON report")
+		sweep      = flag.Bool("sweep", false, "run the performance sweep (gradients × density, decode × parallelism, codec × dim × workers over tcp, service jobs × workers, sharded master, adaptive-redundancy race) instead of paper artifacts")
+		sweepOut   = flag.String("sweep-out", "BENCH_PR9.json", "where -sweep writes its JSON report")
 		sweepQuick = flag.Bool("sweep-quick", false, "tiny -sweep sizes for a fast smoke run")
 	)
 	flag.Parse()

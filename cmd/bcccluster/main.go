@@ -62,6 +62,8 @@ func main() {
 		parallel  = fs.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
 		decodePar = fs.Int("decode-parallel", 0, "master: goroutines for the decode combination (0/1 = serial; bit-identical results)")
 		shards    = fs.Int("master-shards", 0, "master shards with scatter data planes on the master port +1..+M (0/1 = unsharded; must match across processes)")
+		adapt     = fs.Bool("adapt", false, "master: with -scheme nested, retune the redundancy level each iteration with the built-in straggler-tracking controller")
+		adaptWin  = fs.Int("adapt-window", 0, "master: with -adapt, consecutive over-provisioned iterations before stepping the level down (0 = default 3)")
 		progress  = fs.Bool("progress", false, "master: print a live per-iteration progress line")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -84,14 +86,29 @@ func main() {
 		Payload:       core.Payload(*codec),
 		TopK:          *topk,
 		WireChunk:     *chunk,
+		// Validated here (nested-only, non-negative window) even though the
+		// controller below is wired onto the Config directly.
+		AdaptRedundancy: *adapt,
+		AdaptWindow:     *adaptWin,
 	})
 	if err != nil {
 		fail(err)
 	}
 
+	comm := cluster.CommOptions{Payload: *codec, TopK: *topk, Chunk: *chunk}
+
 	// The scatter data plane needs no address exchange: shard s of a sharded
-	// master listens on the master port +1+s, and both roles derive that.
-	shardAddrs, err := shardAddrList(*addr, *shards)
+	// master listens on the master port +1+s, and both roles derive that. A
+	// shard count beyond the model's wire chunks is clamped to the number of
+	// non-empty shards so neither role opens (or dials) listeners for shards
+	// that would own empty slices.
+	effShards := *shards
+	if max, err := comm.MaxShards(*dim); err == nil && effShards > max {
+		fmt.Fprintf(os.Stderr, "bcccluster: -master-shards %d exceeds the %d wire chunk(s) of a %d-dim model; using %d\n",
+			*shards, max, *dim, max)
+		effShards = max
+	}
+	shardAddrs, err := shardAddrList(*addr, effShards)
 	if err != nil {
 		fail(err)
 	}
@@ -102,14 +119,18 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		comm := cluster.CommOptions{Payload: *codec, TopK: *topk, Chunk: *chunk}
 		fmt.Printf("master: listening on %s, waiting for %d workers\n", *addr, *n)
 		var fab cluster.Fabric
 		if len(shardAddrs) > 0 {
+			// Bind every derived shard data port before accepting workers: the
+			// ports are implicit (master port +1..+M), so a collision with an
+			// unrelated service must fail fast, naming the port, rather than
+			// surface as a hung worker dial mid-handshake.
 			shardLns := make([]net.Listener, len(shardAddrs))
 			for s, sa := range shardAddrs {
 				if shardLns[s], err = net.Listen("tcp", sa); err != nil {
-					fail(err)
+					fail(fmt.Errorf("shard %d data port %s is unavailable (derived as master port +%d; pick a master port with %d free successors): %w",
+						s, sa, s+1, len(shardAddrs), err))
 				}
 			}
 			fmt.Printf("master: %d shard data planes on %s .. %s\n", len(shardAddrs), shardAddrs[0], shardAddrs[len(shardAddrs)-1])
@@ -134,11 +155,18 @@ func main() {
 			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
 			DecodeParallelism:  *decodePar,
-			MasterShards:       *shards,
+			MasterShards:       effShards,
 			Comm:               comm,
+		}
+		if *adapt {
+			cfg.Controller = &cluster.AIMDController{Window: *adaptWin}
 		}
 		if *progress {
 			cfg.Observer = cluster.ObserverFuncs{Iteration: func(st cluster.IterStats) {
+				if st.Level > 0 {
+					fmt.Printf("master: iter %4d  K %-4d L %-3d |grad| %.4e\n", st.Iter, st.WorkersHeard, st.Level, st.GradNorm)
+					return
+				}
 				fmt.Printf("master: iter %4d  K %-4d |grad| %.4e\n", st.Iter, st.WorkersHeard, st.GradNorm)
 			}}
 		}
@@ -177,7 +205,7 @@ func main() {
 			Latency:            cluster.Zero{},
 			TimeScale:          1,
 			Codec:              *frame,
-			Comm:               cluster.CommOptions{Payload: *codec, TopK: *topk, Chunk: *chunk},
+			Comm:               comm,
 			Faults:             job.Faults,
 			ComputeParallelism: *parallel,
 			Pipelined:          *pipe,

@@ -64,6 +64,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "goroutines per worker for gradient computation (0/1 = serial)")
 		decodePar = flag.Int("decode-parallel", 0, "goroutines for the master's decode combination (0/1 = serial; bit-identical results)")
 		shards    = flag.Int("master-shards", 0, "master shards owning contiguous coordinate slices of decode+update (0/1 = unsharded; bit-identical results)")
+		adapt     = flag.Bool("adapt", false, "with -scheme nested: retune the redundancy level each iteration with the built-in straggler-tracking controller")
+		adaptWin  = flag.Int("adapt-window", 0, "with -adapt: consecutive over-provisioned iterations before stepping the level down (0 = default 3)")
 		density   = flag.Float64("density", 0, "feature density in (0,1) for a sparse CSR dataset (0 = dense)")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); on expiry partial stats are printed")
 		progress  = flag.Bool("progress", false, "print a live per-iteration progress line (iter, workers heard, grad norm)")
@@ -100,6 +102,8 @@ func main() {
 		ComputeParallelism: *parallel,
 		DecodeParallelism:  *decodePar,
 		MasterShards:       *shards,
+		AdaptRedundancy:    *adapt,
+		AdaptWindow:        *adaptWin,
 		Density:            *density,
 		GradNormTol:        *gradTol,
 		LossEvery:          *lossEv,
@@ -140,6 +144,10 @@ func main() {
 	if *progress {
 		spec.Observer = cluster.ObserverFuncs{
 			Iteration: func(st cluster.IterStats) {
+				if st.Level > 0 {
+					fmt.Printf("iter %4d  wall %8.4fs  K %-4d L %-3d |grad| %.4e\n", st.Iter, st.Wall, st.WorkersHeard, st.Level, st.GradNorm)
+					return
+				}
 				fmt.Printf("iter %4d  wall %8.4fs  K %-4d |grad| %.4e\n", st.Iter, st.Wall, st.WorkersHeard, st.GradNorm)
 			},
 			Fault: func(ev faults.Event) {
@@ -215,6 +223,9 @@ func main() {
 	fmt.Printf("recovery threshold (avg workers heard): %.2f\n", res.AvgWorkersHeard)
 	fmt.Printf("communication load (avg units):         %.2f\n", res.AvgUnits)
 	fmt.Printf("payload bytes received by master:       %d\n", res.TotalBytes)
+	if spec.AdaptRedundancy {
+		fmt.Printf("redundancy level switches:              %d\n", res.LevelSwitches)
+	}
 	if res.TotalWireIn > 0 || res.TotalWireOut > 0 {
 		fmt.Printf("measured wire bytes (in/out):           %d/%d\n", res.TotalWireIn, res.TotalWireOut)
 	}

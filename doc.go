@@ -114,6 +114,32 @@
 // breaking rename, though: bcc.Scheme previously aliased the plan-builder
 // interface, which now lives under bcc.SchemeBuilder.
 //
+// # Adaptive redundancy: nested gradient codes
+//
+// A fixed gradient code pays its straggler protection every iteration.
+// Scheme "nested" (SchemeNested, requires m == n) instead builds a complete
+// cyclic gradient code at EVERY redundancy level L = 1..r over one shared
+// data placement — worker w holds the cyclic window of its r units, level L
+// uses the first L of them and tolerates any L-1 stragglers (deterministic
+// threshold n-L+1). The levels are prefix-nested, so re-tuning the level
+// between iterations moves no data: a worker computes a longer or shorter
+// prefix of what it already holds.
+//
+// Spec.AdaptRedundancy hooks the AIMD redundancy controller onto the engine
+// loop (CLI: -adapt on bcctrain/bcccluster): before each broadcast it reads
+// the iteration's fault telemetry — down, unreachable and slowed workers per
+// the fault plan — and re-tunes the level, jumping up immediately when
+// stragglers appear and stepping down one level after Spec.AdaptWindow
+// consecutive quiet iterations (default 3). Because the controller consults
+// only the plan's pure per-iteration schedule (never clocks), the level
+// trajectory is a pure function of (spec, seed, scenario), and adaptive runs
+// are bit-identical across sim, live and tcp, barrier and pipelined — each
+// broadcast stamps its level, so remote workers encode at exactly the level
+// the master decodes. IterStats.Level records the trajectory,
+// Result.LevelSwitches counts re-tunes, and service jobs export both on
+// /metrics. Custom policies implement the bcc.Controller interface; the
+// plan-side capability is bcc.RetunablePlan.
+//
 // # Performance: pooled buffers and in-place kernels
 //
 // The iteration data plane is allocation-free in steady state: message

@@ -1,0 +1,133 @@
+// Adaptive-redundancy walkthrough: the nested gradient-code family with the
+// telemetry-driven AIMD controller, raced against the same family pinned at
+// full redundancy, under the flaky-tail fault scenario. The controller keeps
+// the level high while the tail is slow and steps it down through quiet
+// stretches, so the cluster computes fewer encoded parts than any fixed code
+// that survives the same faults — without giving up straggler tolerance when
+// it matters. The run is then repeated to show the level trajectory is
+// deterministic: re-tuning decisions are pure functions of the fault plan's
+// schedule, never of wall clocks.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"bcc"
+)
+
+const (
+	workers = 8 // nested requires m == n
+	load    = 4 // levels 1..4
+	iters   = 30
+)
+
+// stagger is a deterministic latency model: worker w's compute finishes
+// (w+1) virtual units after broadcast, so the flaky tail's slowdown factors
+// visibly stretch arrivals.
+func stagger() bcc.Latency {
+	f := make([]float64, workers)
+	for w := range f {
+		f[w] = float64(w + 1)
+	}
+	return bcc.FixedLatency{PerPoint: 1.0 / 16, Factor: f}
+}
+
+func spec(adapt bool) bcc.Spec {
+	win := 0
+	if adapt {
+		win = 2 // AdaptWindow requires AdaptRedundancy (validated)
+	}
+	return bcc.Spec{
+		Examples: workers, Workers: workers, Load: load,
+		Scheme:          bcc.SchemeNested,
+		AdaptRedundancy: adapt,
+		AdaptWindow:     win,
+		Iterations:      iters,
+		Seed:            42,
+		FaultScenario:   "flaky-tail",
+		FaultSeed:       9,
+		Latency:         stagger(),
+	}
+}
+
+// run executes one spec and returns the result plus the per-iteration level
+// trajectory and the total encoded parts computed by the cluster: at level L
+// every reachable worker computes L of its resident units (a fixed plan
+// always computes all `load` of them).
+func run(s bcc.Spec) (*bcc.Result, []int, int) {
+	levels := make([]int, 0, s.Iterations)
+	parts := 0
+	s.Observer = bcc.ObserverFuncs{Iteration: func(st bcc.IterStats) {
+		l := st.Level
+		if l == 0 {
+			l = s.Load // fixed plan: full redundancy every iteration
+		}
+		levels = append(levels, l)
+		parts += l * s.Workers
+	}}
+	res, err := bcc.Train(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, levels, parts
+}
+
+func main() {
+	// --- 1. Fixed full redundancy: the straggler-proof baseline. ---------
+	fixedRes, _, fixedParts := run(spec(false))
+	fmt.Printf("fixed   L=%d: wall %.1f, %d encoded parts computed\n",
+		load, fixedRes.TotalWall, fixedParts)
+
+	// --- 2. Adaptive: the controller re-tunes the level from telemetry. --
+	adaptRes, levels, adaptParts := run(spec(true))
+	fmt.Printf("adaptive    : wall %.1f, %d encoded parts computed, %d level switches\n",
+		adaptRes.TotalWall, adaptParts, adaptRes.LevelSwitches)
+	fmt.Printf("level trajectory: %s\n", trajectory(levels))
+	if adaptRes.LevelSwitches == 0 {
+		log.Fatal("controller never re-tuned under flaky-tail")
+	}
+	if adaptParts >= fixedParts {
+		log.Fatalf("adaptive computed %d parts, fixed %d — no compute saved", adaptParts, fixedParts)
+	}
+	fmt.Printf("compute saved vs fixed: %.0f%%\n",
+		100*(1-float64(adaptParts)/float64(fixedParts)))
+
+	// --- 3. Determinism: the trajectory is replayable, bit for bit. ------
+	again, levels2, _ := run(spec(true))
+	for i := range levels {
+		if levels[i] != levels2[i] {
+			log.Fatalf("iteration %d: level %d vs %d on identical runs", i, levels[i], levels2[i])
+		}
+	}
+	for i := range adaptRes.FinalW {
+		if adaptRes.FinalW[i] != again.FinalW[i] {
+			log.Fatalf("coordinate %d differs between identical adaptive runs", i)
+		}
+	}
+	fmt.Println("re-run: identical level trajectory and bit-identical weights")
+}
+
+// trajectory renders a level sequence compactly, e.g. "4x3 3x2 4 ...".
+func trajectory(levels []int) string {
+	var b strings.Builder
+	for i := 0; i < len(levels); {
+		j := i
+		for j < len(levels) && levels[j] == levels[i] {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if j-i > 1 {
+			fmt.Fprintf(&b, "%dx%d", levels[i], j-i)
+		} else {
+			fmt.Fprintf(&b, "%d", levels[i])
+		}
+		i = j
+	}
+	return b.String()
+}

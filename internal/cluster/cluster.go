@@ -98,6 +98,15 @@ type Config struct {
 	// unchanged by construction (cancel-on-receive means every round starts
 	// with all workers idle) and only Result.TotalElapsed differs.
 	Pipelined bool
+	// Controller, if non-nil and Plan implements coding.Retunable, re-tunes
+	// the plan's active redundancy level at the top of every iteration (see
+	// controller.go): the engine gathers deterministic fault-plan telemetry,
+	// applies the returned level (clamped and floored at the
+	// MinResponders-safe level for the reachable fleet) and broadcasts it
+	// with the query, so workers encode and the master decodes each
+	// iteration at one agreed level. Nil — or a non-Retunable Plan — keeps
+	// the level fixed for the whole run (today's behavior).
+	Controller Controller
 	// Observer, if non-nil, receives lifecycle callbacks from the engine
 	// loop (see observer.go). Hooks run synchronously on the master.
 	Observer Observer
@@ -296,6 +305,11 @@ type IterStats struct {
 	WireBytesOut int
 	// GradNorm is the Euclidean norm of the decoded (normalized) gradient.
 	GradNorm float64
+	// Level is the active redundancy level this iteration on plans that
+	// implement coding.Retunable (the nested family); 0 on fixed plans. It
+	// is runtime-independent: the controller's decisions derive only from
+	// deterministic telemetry.
+	Level int
 	// Loss is the full training loss, if LossEvery sampled this iteration
 	// (NaN otherwise).
 	Loss float64
@@ -339,6 +353,10 @@ type Result struct {
 	// (Config.MasterShards > 1 with slice-capable scheme and optimizer);
 	// nil otherwise.
 	Shards []ShardStats
+	// LevelSwitches counts the iterations at which a Retunable plan's
+	// active level changed from the previous iteration's (0 on fixed
+	// plans): the controller's re-tuning activity over the run.
+	LevelSwitches int
 }
 
 // WallSummary returns descriptive statistics of the per-iteration wall
@@ -364,7 +382,14 @@ func (r *Result) ThresholdSummary() stats.Summary {
 
 func summarize(finalW []float64, iters []IterStats) *Result {
 	res := &Result{FinalW: finalW, Iters: iters}
+	prevLevel := 0
 	for _, it := range iters {
+		if it.Level != 0 {
+			if prevLevel != 0 && it.Level != prevLevel {
+				res.LevelSwitches++
+			}
+			prevLevel = it.Level
+		}
 		res.TotalWall += it.Wall
 		res.TotalCompute += it.Compute
 		res.TotalComm += it.Comm
@@ -393,6 +418,24 @@ func workerPoints(plan coding.Plan, units [][]int) []int {
 		}
 	}
 	return pts
+}
+
+// prefixPoints returns, per worker, the cumulative point counts of its
+// assignment prefixes: out[w][k] is the raw-data-point load of worker w's
+// first k assigned units. Retunable plans keep every level's assignment a
+// prefix of the full one, so out[w][L] is the computational load (in
+// points) at level L — the value both the sim transport and a live worker
+// must feed the latency model for identical compute draws.
+func prefixPoints(assign [][]int, units [][]int) [][]int {
+	out := make([][]int, len(assign))
+	for w, a := range assign {
+		pref := make([]int, len(a)+1)
+		for k, u := range a {
+			pref[k+1] = pref[k] + len(units[u])
+		}
+		out[w] = pref
+	}
+	return out
 }
 
 // gradientModel is the minimal model surface workers need.

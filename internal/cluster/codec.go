@@ -127,7 +127,7 @@ func (c *wireCodec) ReadHello() (Hello, error) {
 }
 
 func (c *wireCodec) WriteModel(m ModelUpdate) error {
-	return c.w.WriteModel(wire.Model{Iter: m.Iter, Query: m.Query})
+	return c.w.WriteModel(wire.Model{Iter: m.Iter, Level: m.Level, Query: m.Query})
 }
 
 func (c *wireCodec) ReadModel() (ModelUpdate, error) {
@@ -135,7 +135,7 @@ func (c *wireCodec) ReadModel() (ModelUpdate, error) {
 		return ModelUpdate{}, err
 	}
 	m, err := c.r.ReadModel()
-	return ModelUpdate{Iter: m.Iter, Query: m.Query}, err
+	return ModelUpdate{Iter: m.Iter, Level: m.Level, Query: m.Query}, err
 }
 
 func (c *wireCodec) WriteReply(r Reply) error {

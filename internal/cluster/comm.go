@@ -42,6 +42,19 @@ func (o CommOptions) Validate(dim int) error {
 	return err
 }
 
+// MaxShards returns the largest useful MasterShards value for a model of
+// the given dimension under these options: the number of wire chunks the
+// model splits into. Configuring more shards than that only produces empty
+// tail shards (see effectiveShards); core's Spec validation rejects such
+// specs using this bound.
+func (o CommOptions) MaxShards(dim int) (int, error) {
+	cp, err := o.resolve(dim)
+	if err != nil {
+		return 0, err
+	}
+	return effectiveShards(dim, dim+1, cp.pc.ChunkElems()), nil
+}
+
 // commPlane is the resolved comm-plane configuration of one run: the wire
 // payload config with a concrete K, plus the payload-byte fraction relative
 // to raw64 that the sim and live runtimes fold into their upload and ingress

@@ -287,7 +287,9 @@ func TestWireAccountingMatchesAnalytic(t *testing.T) {
 			if codec == "f32" {
 				qBytes = vecBytes("f32", dim, 0)
 			}
-			wantOut := n * (1 + 8 + qBytes) // one model frame per worker
+			// One model frame per worker: type byte, iter, the active-level
+			// stamp (uint32, 0 on non-retunable schemes), then the query.
+			wantOut := n * (1 + 8 + 4 + qBytes)
 			// One reply frame per worker: header + one message whose Vec is a
 			// dim-length dense vector and whose Imag is nil (4-byte sentinel).
 			msgBytes := 4 + 8 + 8 + vecBytes(codec, dim, topkK) + 4

@@ -201,6 +201,18 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 	dead := cfg.deadSet()
 	_, n, _ := cfg.Plan.Params()
 	minResponders := coding.MinResponders(cfg.Plan)
+	// Adaptive redundancy (controller.go): a Retunable plan plus a
+	// configured Controller re-tunes the family's active level at the top
+	// of each iteration, before the query goes out. Telemetry comes from
+	// the deterministic fault plan only, so the decisions — and the run —
+	// are identical on every runtime. Without a Retunable plan the
+	// Controller is ignored (the documented fixed-level default).
+	rp, _ := cfg.Plan.(coding.Retunable)
+	ctl := cfg.Controller
+	if rp == nil {
+		ctl = nil
+	}
+	prevHeard := 0
 	// degraded signals the observer that the run is about to end because
 	// the gradient is unrecoverable; the one place both degrade paths
 	// (fail-fast and stall) report through.
@@ -216,11 +228,36 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 		if cfg.Faults != nil && cfg.Observer != nil {
 			cfg.Faults.EventsAt(iter, cfg.Observer.OnWorkerFault)
 		}
-		if reachable := reachableWorkers(cfg.Faults, dead, n, iter); reachable < minResponders {
+		reachable := reachableWorkers(cfg.Faults, dead, n, iter)
+		if reachable < minResponders {
 			degraded(iter)
 			return finish(), fmt.Errorf(
 				"cluster: iteration %d has %d reachable workers but scheme %q cannot decode below %d: %w",
 				iter, reachable, cfg.Plan.Scheme(), minResponders, ErrBelowThreshold)
+		}
+		if ctl != nil {
+			lvl := ctl.Retune(gatherTelemetry(cfg.Faults, dead, n, iter, reachable, prevHeard, rp))
+			if lvl < rp.MinLevel() {
+				lvl = rp.MinLevel()
+			}
+			if lvl > rp.MaxLevel() {
+				lvl = rp.MaxLevel()
+			}
+			// MinResponders-safe floor: never activate a level whose
+			// threshold exceeds the reachable fleet — fall back toward max
+			// redundancy instead of stalling when the fleet thins. The
+			// fail-fast above guarantees the floor fits the family.
+			if floor := n - reachable + 1; lvl < floor {
+				lvl = floor
+				if max := rp.MaxLevel(); lvl > max {
+					lvl = max
+				}
+			}
+			if lvl != rp.Level() {
+				if err := rp.SetLevel(lvl); err != nil {
+					return nil, fmt.Errorf("cluster: controller picked level %d at iteration %d: %w", lvl, iter, err)
+				}
+			}
 		}
 		q := cfg.Opt.Query()
 		switch {
@@ -252,6 +289,9 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 		dec.Reset()
 		used = used[:0]
 		st := IterStats{Iter: iter, Loss: math.NaN()}
+		if rp != nil {
+			st.Level = rp.Level()
+		}
 		// On a virtual clock, draining the post-decode tail is free, so the
 		// trace can show the uncounted stragglers too.
 		tracing := virtual && cfg.Trace != nil
@@ -350,6 +390,7 @@ func runEngine(ctx context.Context, cfg *Config, tr Transport) (*Result, error) 
 			}
 			st.Loss = cfg.Model.SubsetLoss(cfg.Opt.Iterate(), lossRows) / float64(cfg.Model.NumExamples())
 		}
+		prevHeard = st.WorkersHeard
 		iters = append(iters, st)
 		if cfg.Observer != nil {
 			cfg.Observer.OnIteration(st)

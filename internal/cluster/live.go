@@ -23,6 +23,11 @@ import (
 type ModelUpdate struct {
 	Iter  int
 	Query []float64
+	// Level is the active redundancy level of a Retunable plan for this
+	// iteration (controller.go): the worker encodes with that level's plan
+	// and processes only the matching prefix of its assignment. 0 on fixed
+	// plans (and treated as "use the plan's max level" defensively).
+	Level int
 }
 
 // Reply is a worker-to-master transmission: the encoded messages of one
@@ -121,13 +126,16 @@ type liveTransport struct {
 	drops  *dropper
 	faults *faults.Plan
 	n      int
-	frac   float64 // payload byte width relative to raw64
+	frac   float64          // payload byte width relative to raw64
+	rp     coding.Retunable // non-nil on Retunable plans: broadcasts carry the level
 }
 
 func newLiveTransport(cfg *Config, fab fabric, opts LiveOptions) *liveTransport {
 	opts.defaults()
 	_, n, _ := cfg.Plan.Params()
+	rp, _ := cfg.Plan.(coding.Retunable)
 	return &liveTransport{
+		rp:     rp,
 		cfg:    cfg,
 		pool:   cfg.buffers(),
 		fab:    fab,
@@ -202,7 +210,14 @@ func (t *liveTransport) Shutdown() { _ = t.fab.Broadcast(ModelUpdate{Iter: -1}) 
 
 func (t *liveTransport) Broadcast(ctx context.Context, iter int, query []float64) (ArrivalSource, error) {
 	lost := drawDrops(t.drops, t.dead, t.n)
-	if err := t.fab.Broadcast(ModelUpdate{Iter: iter, Query: query}); err != nil {
+	mu := ModelUpdate{Iter: iter, Query: query}
+	if t.rp != nil {
+		// Read on the engine goroutine, after the controller's SetLevel and
+		// before any worker can observe the broadcast: the level the master
+		// will decode this iteration at.
+		mu.Level = t.rp.Level()
+	}
+	if err := t.fab.Broadcast(mu); err != nil {
 		return nil, err
 	}
 	return &liveSource{
@@ -349,10 +364,29 @@ func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error
 	if err != nil {
 		return err
 	}
-	assign := env.Plan.Assignments()[env.Index]
+	fullAssign := env.Plan.Assignments()[env.Index]
 	points := 0
-	for _, u := range assign {
+	for _, u := range fullAssign {
 		points += len(env.Units[u])
+	}
+	// Retunable plans (the nested family): the worker pins each iteration's
+	// level from the broadcast itself, via immutable per-level plan views —
+	// never via the shared plan's mutable active level, which the master's
+	// controller may have advanced already (the channel fabric shares the
+	// plan object; pipelined workers may lag a broadcast behind).
+	rp, _ := env.Plan.(coding.Retunable)
+	var levelPlans []coding.Plan
+	var levelPoints []int
+	if rp != nil {
+		levelPlans = make([]coding.Plan, rp.MaxLevel())
+		for L := rp.MinLevel(); L <= rp.MaxLevel(); L++ {
+			lp, err := rp.AtLevel(L)
+			if err != nil {
+				return err
+			}
+			levelPlans[L-1] = lp
+		}
+		levelPoints = prefixPoints(env.Plan.Assignments(), env.Units)[env.Index]
 	}
 	scale := env.TimeScale
 	if scale <= 0 {
@@ -397,11 +431,22 @@ func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error
 			continue // crashed for this iteration: no work, no reply
 		}
 		iter := mu.Iter
+		// Resolve this iteration's level view: the broadcast's level on
+		// Retunable plans (0 or out-of-range defensively means max level,
+		// matching the family's fixed default), the plan itself otherwise.
+		encPlan, assign, pts := env.Plan, fullAssign, points
+		if rp != nil {
+			L := mu.Level
+			if L < rp.MinLevel() || L > rp.MaxLevel() {
+				L = rp.MaxLevel()
+			}
+			encPlan, assign, pts = levelPlans[L-1], fullAssign[:L], levelPoints[L]
+		}
 		if next, preempted := sleepOrPreempt(env.Latency.Broadcast(env.Index, iter), scale, updates, env.Pipelined); preempted {
 			mu, havePending = next, true
 			continue
 		}
-		comp := env.Latency.Compute(env.Index, iter, points)
+		comp := env.Latency.Compute(env.Index, iter, pts)
 		parts = gradientPartsInto(env.Model, env.Units, assign, mu.Query, env.ComputeParallelism, parts)
 		if next, preempted := sleepOrPreempt(comp, scale, updates, env.Pipelined); preempted {
 			mu, havePending = next, true
@@ -410,7 +455,7 @@ func RunWorker(env WorkerEnv, updates <-chan ModelUpdate, send func(Reply) error
 		// The Msgs slice itself travels inside the Reply (the channel fabric
 		// hands it to the master by reference), so it cannot be reused here;
 		// only the payload buffers are pooled.
-		msgs := env.Plan.EncodeInto(nil, env.Index, parts, env.Bufs)
+		msgs := encPlan.EncodeInto(nil, env.Index, parts, env.Bufs)
 		var units float64
 		for _, m := range msgs {
 			units += m.Units

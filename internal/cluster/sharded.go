@@ -83,18 +83,43 @@ type ShardObserver interface {
 // the map is a pure function of (Dim, MasterShards, chunk), so every
 // process derives the same one.
 func (c *Config) ShardMap() []int {
-	shards := c.MasterShards
+	chunk := c.comm().pc.ChunkElems()
+	shards := effectiveShards(c.Model.Dim(), c.MasterShards, chunk)
+	return shardBounds(c.Model.Dim(), shards, chunk)
+}
+
+// effectiveShards clamps a configured shard count to the number of wire
+// chunks the model actually splits into: more shards than chunks would only
+// produce empty tail shards, whose goroutines, data listeners and leased
+// ports are pure waste. Clamping is bit-compatible — shardBounds assigns
+// the surplus shards empty tail ranges, so the non-empty prefix boundaries
+// are identical either way. Every consumer of a shard count (the in-process
+// shard group, the scatter listeners, external shard processes) derives it
+// through this helper so both ends of every handshake agree.
+func effectiveShards(dim, shards, chunk int) int {
 	if shards < 1 {
 		shards = 1
 	}
-	return shardBounds(c.Model.Dim(), shards, c.comm().pc.ChunkElems())
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nChunks := (dim + chunk - 1) / chunk
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	if shards > nChunks {
+		return nChunks
+	}
+	return shards
 }
 
 // shardBounds partitions [0, dim) into `shards` contiguous ranges aligned to
 // the wire chunk size: whole chunks are distributed as evenly as possible
 // (earlier shards take the extra chunk), and the final boundary is clamped
 // to dim. With more shards than chunks the tail shards own empty ranges —
-// harmless, they simply have no work. Returns shards+1 boundaries.
+// callers avoid materializing those by clamping the count through
+// effectiveShards first (and core.Spec validation rejects over-sharded
+// specs outright). Returns shards+1 boundaries.
 func shardBounds(dim, shards, chunk int) []int {
 	if chunk <= 0 {
 		chunk = 1
@@ -165,12 +190,13 @@ func newMasterShards(cfg *Config, dec coding.Decoder, grad []float64, tr Transpo
 		return nil
 	}
 	dim := cfg.Model.Dim()
-	m := cfg.MasterShards
+	chunk := cfg.comm().pc.ChunkElems()
+	m := effectiveShards(dim, cfg.MasterShards, chunk)
 	ms := &masterShards{
 		dec:    sd,
 		opt:    su,
 		grad:   grad,
-		bounds: shardBounds(dim, m, cfg.comm().pc.ChunkElems()),
+		bounds: shardBounds(dim, m, chunk),
 		scale:  1 / float64(cfg.Model.NumExamples()),
 		dim:    dim,
 		work:   make([]chan struct{}, m),

@@ -61,6 +61,13 @@ type simTransport struct {
 	n      int
 	coder  *wire.VecCoder // lossy payload transform (nil for raw64)
 	frac   float64        // payload byte width relative to raw64
+	// rp is non-nil on Retunable plans (the nested family): each
+	// iteration's worker pipelines then use the ACTIVE level's assignment
+	// prefix and point count, mirroring what a live worker derives from the
+	// broadcast's level. prefPoints[w][k] is the point count of worker w's
+	// first k assigned units.
+	rp         coding.Retunable
+	prefPoints [][]int
 
 	// Reusable per-iteration scratch (the transport is driven by one
 	// engine goroutine, strictly one iteration at a time).
@@ -73,18 +80,25 @@ type simTransport struct {
 func newSimTransport(cfg *Config) *simTransport {
 	_, n, _ := cfg.Plan.Params()
 	cp := cfg.comm()
+	rp, _ := cfg.Plan.(coding.Retunable)
+	var prefPoints [][]int
+	if rp != nil {
+		prefPoints = prefixPoints(cfg.Plan.Assignments(), cfg.Units)
+	}
 	return &simTransport{
-		cfg:    cfg,
-		pool:   cfg.buffers(),
-		lat:    withFaultSlowdowns(cfg.latency(), cfg.Faults),
-		dead:   cfg.deadSet(),
-		drops:  cfg.newDropper(),
-		faults: cfg.Faults,
-		points: workerPoints(cfg.Plan, cfg.Units),
-		n:      n,
-		coder:  cp.newCoder(),
-		frac:   cp.frac,
-		msgs:   make([][]coding.Message, n),
+		rp:         rp,
+		prefPoints: prefPoints,
+		cfg:        cfg,
+		pool:       cfg.buffers(),
+		lat:        withFaultSlowdowns(cfg.latency(), cfg.Faults),
+		dead:       cfg.deadSet(),
+		drops:      cfg.newDropper(),
+		faults:     cfg.Faults,
+		points:     workerPoints(cfg.Plan, cfg.Units),
+		n:          n,
+		coder:      cp.newCoder(),
+		frac:       cp.frac,
+		msgs:       make([][]coding.Message, n),
 	}
 }
 
@@ -125,6 +139,14 @@ func cmpArrival(a, b simArrival) int {
 // instantaneous at the arrival time.
 func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64) (ArrivalSource, error) {
 	lost := drawDrops(t.drops, t.dead, t.n)
+	// On Retunable plans the iteration runs at the level the engine's
+	// controller just activated: workers process only the active prefix of
+	// their assignment, exactly like a live worker told the level in its
+	// ModelUpdate.
+	level := 0
+	if t.rp != nil {
+		level = t.rp.Level()
+	}
 	t.arrivals = t.arrivals[:0]
 	for w := 0; w < t.n; w++ {
 		if err := ctx.Err(); err != nil {
@@ -139,9 +161,13 @@ func (t *simTransport) Broadcast(ctx context.Context, iter int, query []float64)
 		if lost[w] || t.faults.MasterDrop(w, iter) {
 			continue // transmission lost in the network this iteration
 		}
+		assign, pts := t.cfg.Plan.Assignments()[w], t.points[w]
+		if level > 0 {
+			assign, pts = assign[:level], t.prefPoints[w][level]
+		}
 		bcast := t.lat.Broadcast(w, iter)
-		comp := t.lat.Compute(w, iter, t.points[w])
-		t.parts = gradientPartsInto(t.cfg.Model, t.cfg.Units, t.cfg.Plan.Assignments()[w],
+		comp := t.lat.Compute(w, iter, pts)
+		t.parts = gradientPartsInto(t.cfg.Model, t.cfg.Units, assign,
 			query, t.cfg.ComputeParallelism, t.parts)
 		t.msgs[w] = t.cfg.Plan.EncodeInto(t.msgs[w][:0], w, t.parts, t.pool)
 		msgs := t.msgs[w]

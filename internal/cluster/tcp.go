@@ -105,7 +105,10 @@ func newTCPFabric(cfg *Config, opts LiveOptions) (fabric, error) {
 	var shardLns []net.Listener
 	var shardAddrs []string
 	if cfg.MasterShards > 1 {
-		shards = cfg.MasterShards
+		// Clamped to the chunk count: empty tail shards would each hold an
+		// open data listener (and a scatter goroutine per worker) for a slice
+		// that can never receive a byte.
+		shards = effectiveShards(cfg.Model.Dim(), cfg.MasterShards, cfg.comm().pc.ChunkElems())
 		shardLns, err = listenShards(shards)
 		if err != nil {
 			ln.Close()

@@ -460,7 +460,7 @@ func TestFractionalRejectsBadShapes(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"bcc", "bccapprox", "bccmulti", "cyclicmds", "cyclicrep", "fractional", "randomized", "uncoded"}
+	want := []string{"bcc", "bccapprox", "bccmulti", "cyclicmds", "cyclicrep", "fractional", "nested", "randomized", "uncoded"}
 	if len(names) != len(want) {
 		t.Fatalf("registry = %v", names)
 	}

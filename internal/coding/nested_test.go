@@ -1,0 +1,219 @@
+package coding
+
+import (
+	"fmt"
+	"testing"
+
+	"bcc/internal/rngutil"
+)
+
+// The nested-scheme tests pin the family contract the adaptive controller
+// rests on: every level L in [1, r] is a complete gradient code over the SAME
+// placement (level L uses each worker's first L assigned units), with decode
+// threshold n-L+1, and switching the active level never invalidates what a
+// worker would send — lower levels are strict prefixes, so a worker's data
+// layout is fixed for the whole run.
+
+// retunableFor builds a nested family and returns it with its Retunable view.
+func retunableFor(t *testing.T, m, n, r int, rng *rngutil.RNG) (Plan, Retunable) {
+	t.Helper()
+	p := planFor(t, "nested", m, n, r, rng)
+	rp, ok := p.(Retunable)
+	if !ok {
+		t.Fatalf("nested plan does not implement Retunable")
+	}
+	return p, rp
+}
+
+// TestNestedEveryLevelSubsetContract runs the full responder-subset property
+// suite (subsetCase) against EVERY level of a nested family — exhaustively
+// over all 2^6 subsets of a (6,6,3) family, reusing one decoder per level so
+// Reset isolation is exercised too. This is the per-level analogue of
+// TestDecoderSubsetProperties, which only sees the family at its max level.
+func TestNestedEveryLevelSubsetContract(t *testing.T) {
+	rng := rngutil.New(901)
+	_, rp := retunableFor(t, 6, 6, 3, rng.Split())
+	gs, total := makeGradients(6, rng.Split())
+	if rp.MinLevel() != 1 || rp.MaxLevel() != 3 {
+		t.Fatalf("family levels [%d, %d], want [1, 3]", rp.MinLevel(), rp.MaxLevel())
+	}
+	for L := rp.MinLevel(); L <= rp.MaxLevel(); L++ {
+		lp, err := rp.AtLevel(L)
+		if err != nil {
+			t.Fatalf("AtLevel(%d): %v", L, err)
+		}
+		if got, want := lp.WorstCaseThreshold(), 6-L+1; got != want {
+			t.Fatalf("level %d: WorstCaseThreshold %d, want n-L+1 = %d", L, got, want)
+		}
+		if minR := MinResponders(lp); minR > lp.WorstCaseThreshold() {
+			t.Fatalf("level %d: MinResponders %d exceeds WorstCaseThreshold %d", L, minR, lp.WorstCaseThreshold())
+		}
+		name := fmt.Sprintf("nested/L%d", L)
+		dec := lp.NewDecoder()
+		for mask := 0; mask < 1<<6; mask++ {
+			var sub []int
+			for w := 0; w < 6; w++ {
+				if mask&(1<<w) != 0 {
+					sub = append(sub, w)
+				}
+			}
+			subsetCase(t, name, lp, dec, gs, total, sub)
+		}
+	}
+}
+
+// TestNestedEveryLevelRandomSubsets repeats the subset contract on a larger
+// (12,12,4) family with random subsets in random arrival orders per level.
+func TestNestedEveryLevelRandomSubsets(t *testing.T) {
+	rng := rngutil.New(902)
+	_, rp := retunableFor(t, 12, 12, 4, rng.Split())
+	gs, total := makeGradients(12, rng.Split())
+	for L := rp.MinLevel(); L <= rp.MaxLevel(); L++ {
+		lp, err := rp.AtLevel(L)
+		if err != nil {
+			t.Fatalf("AtLevel(%d): %v", L, err)
+		}
+		name := fmt.Sprintf("nested/L%d", L)
+		dec := lp.NewDecoder()
+		for trial := 0; trial < 80; trial++ {
+			perm := rng.Perm(12)
+			sub := perm[:1+rng.Intn(12)]
+			subsetCase(t, name, lp, dec, gs, total, sub)
+		}
+	}
+}
+
+// TestNestedPrefixPlacement pins the structural invariant that makes level
+// switching free for workers: level L's assignment for every worker is
+// exactly the first L entries of the family's (max-level) assignment, so a
+// worker holding its r assigned units can serve any level by computing a
+// prefix of its encoded parts.
+func TestNestedPrefixPlacement(t *testing.T) {
+	rng := rngutil.New(903)
+	p, rp := retunableFor(t, 8, 8, 4, rng.Split())
+	full := p.Assignments()
+	for L := rp.MinLevel(); L <= rp.MaxLevel(); L++ {
+		lp, err := rp.AtLevel(L)
+		if err != nil {
+			t.Fatalf("AtLevel(%d): %v", L, err)
+		}
+		for w, a := range lp.Assignments() {
+			if len(a) != L {
+				t.Fatalf("level %d: worker %d assigned %d units, want %d", L, w, len(a), L)
+			}
+			for k, u := range a {
+				if full[w][k] != u {
+					t.Fatalf("level %d: worker %d assignment %v is not a prefix of family assignment %v",
+						L, w, a, full[w])
+				}
+			}
+		}
+	}
+}
+
+// TestNestedSetLevelSemantics drives the FAMILY plan (the object the engine
+// mutates) through a descending level sweep: after each SetLevel, the active
+// threshold, encode arity and a fresh decode must all reflect the new level,
+// and a decoder Reset must snapshot the now-active level.
+func TestNestedSetLevelSemantics(t *testing.T) {
+	rng := rngutil.New(904)
+	p, rp := retunableFor(t, 8, 8, 4, rng.Split())
+	full := p.Assignments()
+	gs, total := makeGradients(8, rng.Split())
+	dec := p.NewDecoder()
+	for L := rp.MaxLevel(); L >= rp.MinLevel(); L-- {
+		if err := rp.SetLevel(L); err != nil {
+			t.Fatalf("SetLevel(%d): %v", L, err)
+		}
+		if rp.Level() != L {
+			t.Fatalf("Level() = %d after SetLevel(%d)", rp.Level(), L)
+		}
+		if got, want := p.WorstCaseThreshold(), 8-L+1; got != want {
+			t.Fatalf("level %d: active WorstCaseThreshold %d, want %d", L, got, want)
+		}
+		dec.Reset() // snapshots the active level, like the engine's per-iteration Reset
+		fed := 0
+		for _, w := range rng.Perm(8) {
+			// A worker at level L sends the first L of its encoded parts.
+			parts := make([][]float64, L)
+			for k, u := range full[w][:L] {
+				parts[k] = gs[u]
+			}
+			for _, msg := range Encode(p, w, parts) {
+				dec.Offer(msg)
+			}
+			fed++
+			if dec.Decodable() {
+				break
+			}
+		}
+		if want := 8 - L + 1; fed != want {
+			t.Fatalf("level %d: decodable after %d workers, want exactly the threshold %d", L, fed, want)
+		}
+		out, err := Decode(dec, gradDim)
+		if err != nil {
+			t.Fatalf("level %d: decode failed: %v", L, err)
+		}
+		checkExact(t, fmt.Sprintf("nested/SetLevel(%d)", L), out, total)
+	}
+	// Out-of-range levels must be rejected without changing the active level.
+	rp.SetLevel(2)
+	for _, bad := range []int{0, -1, 5} {
+		if err := rp.SetLevel(bad); err == nil {
+			t.Fatalf("SetLevel(%d) accepted out-of-range level", bad)
+		}
+		if _, err := rp.AtLevel(bad); err == nil {
+			t.Fatalf("AtLevel(%d) accepted out-of-range level", bad)
+		}
+	}
+	if rp.Level() != 2 {
+		t.Fatalf("rejected SetLevel changed the active level to %d", rp.Level())
+	}
+}
+
+// TestNestedConstructionDeterministic pins what live/tcp correctness depends
+// on: two processes seeding the same RNG build bit-identical families at
+// every level — same assignments and same encoded bytes — so a worker and a
+// master that never exchange coefficients still agree.
+func TestNestedConstructionDeterministic(t *testing.T) {
+	build := func() (Plan, Retunable, [][]float64) {
+		rng := rngutil.New(905)
+		p, rp := retunableFor(t, 8, 8, 3, rng.Split())
+		gs, _ := makeGradients(8, rng.Split())
+		return p, rp, gs
+	}
+	p1, rp1, gs1 := build()
+	p2, rp2, gs2 := build()
+	a1, a2 := p1.Assignments(), p2.Assignments()
+	for w := range a1 {
+		for k := range a1[w] {
+			if a1[w][k] != a2[w][k] {
+				t.Fatalf("same-seed families disagree on assignment of worker %d", w)
+			}
+		}
+	}
+	for L := rp1.MinLevel(); L <= rp1.MaxLevel(); L++ {
+		l1, err := rp1.AtLevel(L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := rp2.AtLevel(L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < 8; w++ {
+			m1 := encodeWorker(l1, w, gs1)
+			m2 := encodeWorker(l2, w, gs2)
+			if len(m1) != len(m2) {
+				t.Fatalf("level %d worker %d: message counts %d vs %d", L, w, len(m1), len(m2))
+			}
+			for i := range m1 {
+				for j := range m1[i].Vec {
+					if m1[i].Vec[j] != m2[i].Vec[j] {
+						t.Fatalf("level %d worker %d: same-seed encodes differ", L, w)
+					}
+				}
+			}
+		}
+	}
+}

@@ -46,6 +46,7 @@ const (
 	SchemeCyclicMDS  Scheme = "cyclicmds"
 	SchemeCyclicRep  Scheme = "cyclicrep"
 	SchemeFractional Scheme = "fractional"
+	SchemeNested     Scheme = "nested"
 	SchemeRandomized Scheme = "randomized"
 	SchemeUncoded    Scheme = "uncoded"
 )
@@ -245,6 +246,18 @@ type Spec struct {
 	// Scheme names the gradient code (default SchemeBCC). Untyped string
 	// constants assign directly: Spec{Scheme: "bcc"} keeps working.
 	Scheme Scheme
+	// AdaptRedundancy enables the built-in straggler-tracking redundancy
+	// controller: every iteration the engine retunes the active level of the
+	// nested gradient code to the cheapest one whose decode threshold covers
+	// the observed straggler tail with a safety margin. Requires
+	// Scheme == SchemeNested (the only Retunable scheme). Controller
+	// decisions are a pure function of (seed, fault scenario, arrival
+	// history), so adaptive runs stay bit-identical across runtimes.
+	AdaptRedundancy bool
+	// AdaptWindow is the controller's decrease patience: how many consecutive
+	// over-provisioned iterations it observes before stepping the level down
+	// by one (0 = default 3). Only meaningful with AdaptRedundancy.
+	AdaptWindow int
 
 	// --- optimization ---
 	// Iterations of distributed gradient descent (paper: 100).
@@ -421,6 +434,16 @@ func (s *Spec) validateOptions() error {
 	if s.MasterShards < 0 {
 		return &OptionError{Option: "MasterShards", Value: fmt.Sprintf("%d", s.MasterShards), Reason: "must be non-negative"}
 	}
+	if s.AdaptRedundancy && s.Scheme != SchemeNested {
+		return &OptionError{Option: "AdaptRedundancy", Value: "true",
+			Reason: fmt.Sprintf("requires Scheme %q (the only retunable scheme), got %q", SchemeNested, s.Scheme)}
+	}
+	if s.AdaptWindow < 0 {
+		return &OptionError{Option: "AdaptWindow", Value: fmt.Sprintf("%d", s.AdaptWindow), Reason: "must be non-negative"}
+	}
+	if s.AdaptWindow > 0 && !s.AdaptRedundancy {
+		return &OptionError{Option: "AdaptWindow", Value: fmt.Sprintf("%d", s.AdaptWindow), Reason: "set without AdaptRedundancy"}
+	}
 	if s.Density < 0 || s.Density > 1 {
 		return &OptionError{Option: "Density", Value: fmt.Sprintf("%v", s.Density), Reason: "outside [0, 1]"}
 	}
@@ -444,6 +467,13 @@ func (s *Spec) validateOptions() error {
 			opt, val = "WireChunk", fmt.Sprintf("%d", s.WireChunk)
 		}
 		return &OptionError{Option: opt, Value: val, Reason: err.Error()}
+	}
+	if s.MasterShards > 1 {
+		// The comm options resolved above, so MaxShards cannot fail here.
+		if max, err := s.comm().MaxShards(s.Dim); err == nil && s.MasterShards > max {
+			return &OptionError{Option: "MasterShards", Value: fmt.Sprintf("%d", s.MasterShards),
+				Reason: fmt.Sprintf("exceeds the %d wire chunk(s) of a %d-dim model — the surplus shards would own empty slices yet still cost listeners and ports", max, s.Dim)}
+		}
 	}
 	if s.FaultScenario != "" && !faults.Known(s.FaultScenario) {
 		return &OptionError{Option: "FaultScenario", Value: s.FaultScenario, Known: faults.Names()}
@@ -561,6 +591,12 @@ func (j *Job) clusterConfig() *cluster.Config {
 		// follows the engine's partition, one file per shard.
 		ckpt = func(completed int) error { return j.CheckpointSharded(path, j.Resumed+completed) }
 	}
+	var ctl cluster.Controller
+	if j.Spec.AdaptRedundancy {
+		// A fresh controller per run: its decrease-patience counter starts
+		// from zero, so resumed and fresh runs see the same decision rule.
+		ctl = &cluster.AIMDController{Window: j.Spec.AdaptWindow}
+	}
 	return &cluster.Config{
 		Plan:               j.Plan,
 		Model:              j.Model,
@@ -576,6 +612,7 @@ func (j *Job) clusterConfig() *cluster.Config {
 		ComputeParallelism: j.Spec.ComputeParallelism,
 		DecodeParallelism:  j.Spec.DecodeParallelism,
 		MasterShards:       j.Spec.MasterShards,
+		Controller:         ctl,
 		Comm:               j.Spec.comm(),
 		LossEvery:          j.Spec.LossEvery,
 		Trace:              j.Spec.Trace,
@@ -678,19 +715,41 @@ func (j *Job) RestoreCheckpoint(path string) (completed int, err error) {
 
 // RestoreShardedCheckpoint loads the per-shard files written by
 // CheckpointSharded (path.shard0 … path.shard{M-1}) and merges them into
-// the full optimizer state. The merge rejects torn sets — a missing or
-// duplicated shard, coordinate gaps, or shards saved at different
-// iterations or by different jobs — before the usual topology validation.
-// A job with MasterShards < 2 falls back to the single-file restore.
+// the full optimizer state. The shard map — count and coordinate ranges —
+// is read from the files themselves and checked against the job's own
+// partition up front, so a resume whose MasterShards or WireChunk flags
+// disagree with the checkpoint fails with a message naming the mismatch
+// instead of a late merge error (or a silently different partition). The
+// merge additionally rejects torn sets — a missing or duplicated shard,
+// coordinate gaps, or shards saved at different iterations or by different
+// jobs — before the usual topology validation. A job with MasterShards < 2
+// falls back to the single-file restore.
 func (j *Job) RestoreShardedCheckpoint(path string) (completed int, err error) {
 	shards := j.Spec.MasterShards
 	if shards < 2 {
 		return j.RestoreCheckpoint(path)
 	}
+	// Shard 0 carries the authoritative split; trust it over the flags.
+	first, err := checkpoint.LoadShard(checkpoint.ShardPath(path, 0))
+	if err != nil {
+		return 0, err
+	}
+	if first.Shards != shards {
+		return 0, fmt.Errorf("core: checkpoint %s was split into %d shard(s), but this job is configured with MasterShards=%d — rerun with the shard count the checkpoint was written with",
+			path, first.Shards, shards)
+	}
+	bounds := j.clusterConfig().ShardMap()
 	parts := make([]*checkpoint.Shard, shards)
-	for s := range parts {
+	parts[0] = first
+	for s := 1; s < shards; s++ {
 		if parts[s], err = checkpoint.LoadShard(checkpoint.ShardPath(path, s)); err != nil {
 			return 0, err
+		}
+	}
+	for s, sh := range parts {
+		if sh.Lo != bounds[s] || sh.Hi != bounds[s+1] {
+			return 0, fmt.Errorf("core: checkpoint shard %d owns [%d,%d) but this job's shard map assigns [%d,%d) — the checkpoint was written under a different wire chunk size or model dimension",
+				s, sh.Lo, sh.Hi, bounds[s], bounds[s+1])
 		}
 	}
 	st, err := checkpoint.Merge(parts)

@@ -68,6 +68,8 @@ type remoteSpec struct {
 	Workers            int          `json:"workers,omitempty"`
 	Load               int          `json:"load,omitempty"`
 	Scheme             Scheme       `json:"scheme,omitempty"`
+	AdaptRedundancy    bool         `json:"adapt_redundancy,omitempty"`
+	AdaptWindow        int          `json:"adapt_window,omitempty"`
 	Iterations         int          `json:"iterations,omitempty"`
 	StepSize           float64      `json:"step_size,omitempty"`
 	Optimizer          Optimizer    `json:"optimizer,omitempty"`
@@ -127,6 +129,8 @@ func EncodeSpec(s Spec) ([]byte, error) {
 		Workers:            norm.Workers,
 		Load:               norm.Load,
 		Scheme:             norm.Scheme,
+		AdaptRedundancy:    norm.AdaptRedundancy,
+		AdaptWindow:        norm.AdaptWindow,
 		Iterations:         norm.Iterations,
 		StepSize:           norm.StepSize,
 		Optimizer:          norm.Optimizer,
@@ -174,6 +178,8 @@ func DecodeSpec(data []byte) (Spec, error) {
 		Workers:            rs.Workers,
 		Load:               rs.Load,
 		Scheme:             rs.Scheme,
+		AdaptRedundancy:    rs.AdaptRedundancy,
+		AdaptWindow:        rs.AdaptWindow,
 		Iterations:         rs.Iterations,
 		StepSize:           rs.StepSize,
 		Optimizer:          rs.Optimizer,

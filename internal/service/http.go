@@ -80,11 +80,17 @@ func (d *Daemon) metrics(w http.ResponseWriter, r *http.Request) {
 		bytesIn int64
 		queue   int
 	}
+	type levelSample struct {
+		job      core.JobID
+		level    int
+		switches int
+	}
 	d.mu.Lock()
 	states := map[core.JobState]int{}
 	iters := 0
 	var queueSecs, runSecs float64
 	var shardSamples []shardSample
+	var levelSamples []levelSample
 	for _, rec := range d.jobs {
 		st := d.statusLocked(rec)
 		states[rec.state]++
@@ -98,6 +104,9 @@ func (d *Daemon) metrics(w http.ResponseWriter, r *http.Request) {
 				job: rec.id, shard: ss.Shard, decode: ss.DecodeNs,
 				bytesIn: ss.SliceBytesIn, queue: ss.QueueDepth,
 			})
+		}
+		if rec.level > 0 {
+			levelSamples = append(levelSamples, levelSample{job: rec.id, level: rec.level, switches: rec.levelSwitch})
 		}
 	}
 	depth := len(d.queue)
@@ -136,6 +145,16 @@ func (d *Daemon) metrics(w http.ResponseWriter, r *http.Request) {
 		b.WriteString("# HELP bcc_shard_queue_depth Pending-work depth per master shard at the last iteration.\n# TYPE bcc_shard_queue_depth gauge\n")
 		for _, s := range shardSamples {
 			fmt.Fprintf(&b, "bcc_shard_queue_depth{job=\"%d\",shard=\"%d\"} %d\n", s.job, s.shard, s.queue)
+		}
+	}
+	if len(levelSamples) > 0 {
+		b.WriteString("# HELP bcc_job_level Active redundancy level of adaptive nested jobs.\n# TYPE bcc_job_level gauge\n")
+		for _, s := range levelSamples {
+			fmt.Fprintf(&b, "bcc_job_level{job=\"%d\"} %d\n", s.job, s.level)
+		}
+		b.WriteString("# HELP bcc_job_level_switches_total Redundancy level changes between consecutive iterations.\n# TYPE bcc_job_level_switches_total counter\n")
+		for _, s := range levelSamples {
+			fmt.Fprintf(&b, "bcc_job_level_switches_total{job=\"%d\"} %d\n", s.job, s.switches)
 		}
 	}
 

@@ -502,8 +502,17 @@ func (d *Daemon) runLeased(ctx context.Context, rec *jobRecord, job *core.Job, c
 			sln.Close()
 		}
 	}
-	if rec.spec.MasterShards > 1 {
-		for s := 0; s < rec.spec.MasterShards; s++ {
+	// Effective shard count: validation rejects over-sharded specs, but clamp
+	// anyway so a directly-constructed record can never lease ports (or bind
+	// listeners) for shards that would own empty coordinate slices.
+	shardCount := rec.spec.MasterShards
+	if shardCount > 1 {
+		if max, merr := job.Comm().MaxShards(cfg.Model.Dim()); merr == nil && shardCount > max {
+			shardCount = max
+		}
+	}
+	if shardCount > 1 {
+		for s := 0; s < shardCount; s++ {
 			sln, serr := net.Listen("tcp", net.JoinHostPort(host, "0"))
 			if serr != nil {
 				closeShardLns()

@@ -39,6 +39,8 @@ type jobRecord struct {
 	wireOut      int64
 	workersHeard int
 	faults       int
+	level        int                  // active redundancy level (adaptive nested jobs; 0 otherwise)
+	levelSwitch  int                  // level changes between consecutive iterations
 	shards       []cluster.ShardStats // sharded-master jobs only; cumulative
 }
 
@@ -73,6 +75,11 @@ type JobStatus struct {
 	WireOut      int64   `json:"wire_out,omitempty"`
 	WorkersHeard int     `json:"workers_heard,omitempty"`
 	Faults       int     `json:"faults,omitempty"`
+	// Level is the redundancy level the adaptive nested controller ran the
+	// last iteration at (0 for fixed-redundancy jobs); LevelSwitches counts
+	// how many times the level changed between consecutive iterations.
+	Level         int `json:"level,omitempty"`
+	LevelSwitches int `json:"level_switches,omitempty"`
 	// Shards holds the per-shard counters of a sharded-master job (cumulative
 	// decode time, measured or modelled slice bytes, queue depth), absent for
 	// unsharded jobs.
@@ -106,13 +113,15 @@ func (d *Daemon) statusLocked(rec *jobRecord) JobStatus {
 		Started:    rec.started,
 		Finished:   rec.finished,
 
-		Iter:         rec.iter,
-		GradNorm:     rec.gradNorm,
-		Bytes:        rec.bytes,
-		WireIn:       rec.wireIn,
-		WireOut:      rec.wireOut,
-		WorkersHeard: rec.workersHeard,
-		Faults:       rec.faults,
+		Iter:          rec.iter,
+		GradNorm:      rec.gradNorm,
+		Bytes:         rec.bytes,
+		WireIn:        rec.wireIn,
+		WireOut:       rec.wireOut,
+		WorkersHeard:  rec.workersHeard,
+		Faults:        rec.faults,
+		Level:         rec.level,
+		LevelSwitches: rec.levelSwitch,
 	}
 	if len(rec.shards) > 0 {
 		st.Shards = append([]cluster.ShardStats(nil), rec.shards...)
@@ -155,6 +164,12 @@ func (d *Daemon) observe(rec *jobRecord) cluster.Observer {
 			rec.wireIn += int64(st.WireBytesIn)
 			rec.wireOut += int64(st.WireBytesOut)
 			rec.workersHeard = st.WorkersHeard
+			if st.Level > 0 {
+				if rec.level != 0 && st.Level != rec.level {
+					rec.levelSwitch++
+				}
+				rec.level = st.Level
+			}
 			d.mu.Unlock()
 		},
 		Fault: func(faults.Event) {

@@ -9,7 +9,7 @@
 //
 //	frame := kind:uint8 body
 //	hello := worker:uint32 codec:uint8 topk:uint32 chunk:uint32 shards:uint32
-//	model := iter:int64 vec(query)
+//	model := iter:int64 level:uint32 vec(query)
 //	reply := iter:int64 worker:uint32 compute:float64 nmsgs:uint32 msg*
 //	msg   := from:uint32 tag:int64 units:float64 vec(vec) vec(imag)
 //	vec   := len:uint32 body                 (len 0xFFFFFFFF encodes nil)
@@ -75,9 +75,12 @@ type Hello struct {
 	Shards int
 }
 
-// Model is a model-broadcast frame body; Iter < 0 signals shutdown.
+// Model is a model-broadcast frame body; Iter < 0 signals shutdown. Level
+// is the iteration's active redundancy level on re-tunable code families
+// (0 = fixed plan).
 type Model struct {
 	Iter  int
+	Level int
 	Query []float64
 }
 
@@ -290,6 +293,9 @@ func (w *Writer) WriteModel(m Model) error {
 		return err
 	}
 	if err := w.i64(int64(m.Iter)); err != nil {
+		return err
+	}
+	if err := w.u32(uint32(m.Level)); err != nil {
 		return err
 	}
 	if err := w.vecQuery(m.Query); err != nil {
@@ -598,11 +604,15 @@ func (r *Reader) ReadModel() (Model, error) {
 	if err != nil {
 		return Model{}, err
 	}
+	level, err := r.u32()
+	if err != nil {
+		return Model{}, err
+	}
 	q, err := r.vecQuery()
 	if err != nil {
 		return Model{}, err
 	}
-	return Model{Iter: int(iter), Query: q}, nil
+	return Model{Iter: int(iter), Level: int(level), Query: q}, nil
 }
 
 // ReadReply decodes a reply body (after NextKind returned KindReply).
